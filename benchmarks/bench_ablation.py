@@ -1,0 +1,64 @@
+"""Ablation benchmarks over the §5 implementation knobs, on the tight-loop
+workload where monitoring overhead is most visible."""
+
+import pytest
+
+from repro.analysis.callgraph import loop_entry_labels
+from repro.bench.workloads import msort_source, sum_source
+from repro.eval.machine import Answer, run_program
+from repro.lang.parser import parse_program
+from repro.sct.monitor import SCMonitor
+from repro.sct.order import ContainmentOrder
+
+SUM = sum_source(800)
+MSORT = msort_source(96)
+
+CONFIGS = [
+    ("unchecked", "off", "cm", lambda prog: SCMonitor()),
+    ("cm", "full", "cm", lambda prog: SCMonitor()),
+    ("imperative", "full", "imperative", lambda prog: SCMonitor()),
+    ("backoff", "full", "cm", lambda prog: SCMonitor(backoff=True)),
+    ("label-keying", "full", "cm", lambda prog: SCMonitor(keying="label")),
+    ("loop-entries", "full", "cm",
+     lambda prog: SCMonitor(loop_entries=loop_entry_labels(prog))),
+]
+
+
+@pytest.mark.parametrize("config,mode,strategy,factory", CONFIGS,
+                         ids=[c[0] for c in CONFIGS])
+def test_ablation_sum(benchmark, parsed, config, mode, strategy, factory):
+    program = parsed(SUM)
+    benchmark.group = "ablation:sum"
+
+    def run():
+        return run_program(program, mode=mode, strategy=strategy,
+                           monitor=factory(program))
+
+    answer = benchmark(run)
+    assert answer.kind == Answer.VALUE
+
+
+def test_containment_order_rejects_merge_sort(benchmark, parsed):
+    """The Fig. 5 containment order cannot justify merge-sort's freshly
+    allocated halves: a false positive, demonstrating why the size order
+    is the default (see DESIGN.md)."""
+    program = parsed(MSORT)
+    benchmark.group = "ablation:order"
+
+    def run():
+        return run_program(program, mode="full",
+                           monitor=SCMonitor(order=ContainmentOrder()))
+
+    answer = benchmark(run)
+    assert answer.kind == Answer.SC_ERROR
+
+
+def test_size_order_accepts_merge_sort(benchmark, parsed):
+    program = parsed(MSORT)
+    benchmark.group = "ablation:order"
+
+    def run():
+        return run_program(program, mode="full", monitor=SCMonitor())
+
+    answer = benchmark(run)
+    assert answer.kind == Answer.VALUE

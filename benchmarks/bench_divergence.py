@@ -1,0 +1,24 @@
+"""§5.1.2 as benchmarks: time from program start to errorSC for each
+diverging program (the paper reports this as 'immeasurable delay')."""
+
+import pytest
+
+from repro.corpus import diverging_programs
+from repro.eval.machine import Answer, run_program
+from repro.sct.monitor import SCMonitor
+
+DIVERGING = diverging_programs()
+
+
+@pytest.mark.parametrize("prog", DIVERGING, ids=[d.name for d in DIVERGING])
+def test_time_to_detection(benchmark, parsed, prog):
+    program = parsed(prog.source)
+    benchmark.group = "divergence:time-to-errorSC"
+    mode = "contract" if "terminating/c" in prog.source else "full"
+
+    def run():
+        return run_program(program, mode=mode,
+                           monitor=SCMonitor(measures=prog.measures))
+
+    answer = benchmark(run)
+    assert answer.kind == Answer.SC_ERROR

@@ -1,0 +1,51 @@
+"""Figure 10 cells as individual benchmarks.
+
+Six workloads × three series.  The pytest-benchmark table *is* the figure's
+data; group names collect the three series of each panel side by side.
+"""
+
+import pytest
+
+from repro.bench.workloads import (
+    factorial_source,
+    msort_source,
+    sum_source,
+)
+from repro.corpus.interpreter import (
+    interpreted_factorial_source,
+    interpreted_msort_source,
+    interpreted_sum_source,
+)
+from repro.eval.machine import Answer, run_program
+from repro.sct.monitor import SCMonitor
+
+# One representative size per panel (the full sweep lives in
+# `python -m repro bench fig10 --scale full`).
+PANELS = {
+    "factorial": factorial_source(150),
+    "sum": sum_source(800),
+    "merge-sort": msort_source(96),
+    "interp-factorial": interpreted_factorial_source(40),
+    "interp-sum": interpreted_sum_source(80),
+    "interp-merge-sort": interpreted_msort_source(16),
+}
+
+SERIES = [
+    ("unchecked", dict(mode="off")),
+    ("cont-mark", dict(mode="full", strategy="cm")),
+    ("imperative", dict(mode="full", strategy="imperative")),
+]
+
+
+@pytest.mark.parametrize("series,options", SERIES, ids=[s[0] for s in SERIES])
+@pytest.mark.parametrize("panel", list(PANELS), ids=list(PANELS))
+def test_fig10_cell(benchmark, parsed, panel, series, options):
+    program = parsed(PANELS[panel])
+    benchmark.group = f"fig10:{panel}"
+    benchmark.name = series
+
+    def run():
+        return run_program(program, monitor=SCMonitor(), **options)
+
+    answer = benchmark(run)
+    assert answer.kind == Answer.VALUE

@@ -1,0 +1,93 @@
+"""Benchmark cells for the monotonicity-constraint extension (§6.2).
+
+Full report: ``python -m repro bench mc``.
+"""
+
+import pytest
+
+from repro.bench.workloads import msort_source, sum_source
+from repro.eval.machine import Answer, run_program
+from repro.mc.graph import MCGraph, mc_graph_of_values
+from repro.mc.monitor import MCMonitor
+from repro.sct.graph import graph_of_values
+from repro.sct.monitor import SCMonitor
+from repro.sct.order import SizeOrder
+
+SUM = sum_source(600)
+MSORT = msort_source(64)
+
+MONITORS = [
+    ("unchecked", "off", lambda: SCMonitor()),
+    ("sc", "full", lambda: SCMonitor()),
+    ("mc", "full", lambda: MCMonitor()),
+    ("mc-backoff", "full", lambda: MCMonitor(backoff=True)),
+]
+
+
+@pytest.mark.parametrize("name,mode,factory", MONITORS,
+                         ids=[m[0] for m in MONITORS])
+def test_mc_overhead_sum(benchmark, parsed, name, mode, factory):
+    program = parsed(SUM)
+    benchmark.group = "mc:sum"
+    answer = benchmark(lambda: run_program(program, mode=mode,
+                                           monitor=factory()))
+    assert answer.kind == Answer.VALUE
+
+
+@pytest.mark.parametrize("name,mode,factory", MONITORS,
+                         ids=[m[0] for m in MONITORS])
+def test_mc_overhead_msort(benchmark, parsed, name, mode, factory):
+    program = parsed(MSORT)
+    benchmark.group = "mc:merge-sort"
+    answer = benchmark(lambda: run_program(program, mode=mode,
+                                           monitor=factory()))
+    assert answer.kind == Answer.VALUE
+
+
+COUNT_UP = """
+(define (range2 lo hi)
+  (if (>= lo hi) '() (cons lo (range2 (+ lo 1) hi))))
+(length (range2 0 400))
+"""
+
+
+def test_mc_accepts_count_up(benchmark, parsed):
+    """The headline gain: no measure needed for the ascending loop."""
+    program = parsed(COUNT_UP)
+    benchmark.group = "mc:count-up"
+    answer = benchmark(lambda: run_program(program, mode="full",
+                                           monitor=MCMonitor()))
+    assert answer.kind == Answer.VALUE and answer.value == 400
+
+
+def test_sc_measure_baseline_count_up(benchmark, parsed):
+    """The paper's alternative: SC with the custom hi−lo measure."""
+    program = parsed(COUNT_UP)
+    benchmark.group = "mc:count-up"
+
+    def run():
+        monitor = SCMonitor(measures={"range2": lambda a: (a[1] - a[0],)})
+        return run_program(program, mode="full", monitor=monitor)
+
+    answer = benchmark(run)
+    assert answer.kind == Answer.VALUE
+
+
+def test_graph_construction_cost(benchmark):
+    """Micro: one MC graph build+close vs one SC graph build (arity 3)."""
+    benchmark.group = "mc:graph-micro"
+    old, new = (9, 4, 7), (8, 4, 7)
+    benchmark(lambda: mc_graph_of_values(old, new))
+
+
+def test_sc_graph_construction_cost(benchmark):
+    benchmark.group = "mc:graph-micro"
+    old, new = (9, 4, 7), (8, 4, 7)
+    order = SizeOrder()
+    benchmark(lambda: graph_of_values(old, new, order))
+
+
+def test_mc_composition_cost(benchmark):
+    benchmark.group = "mc:graph-micro"
+    g = mc_graph_of_values((9, 4, 7), (8, 4, 7))
+    benchmark(lambda: g.compose(g))

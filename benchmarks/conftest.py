@@ -1,0 +1,27 @@
+"""Shared fixtures for the pytest-benchmark suite.
+
+Run with::
+
+    pytest benchmarks/ --benchmark-only
+
+Each benchmark corresponds to a cell of a paper table/figure; the
+full-report harnesses (``python -m repro bench ...``) regenerate whole
+tables at once.
+"""
+
+import pytest
+
+from repro.lang.parser import parse_program
+
+
+@pytest.fixture(scope="session")
+def parsed():
+    """Parse-once cache so benchmarks time evaluation, not reading."""
+    cache = {}
+
+    def get(source: str):
+        if source not in cache:
+            cache[source] = parse_program(source)
+        return cache[source]
+
+    return get

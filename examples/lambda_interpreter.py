@@ -1,0 +1,29 @@
+"""§2.4 / Fig. 2: dynamically checking a Turing-complete interpreter.
+
+Run: ``python examples/lambda_interpreter.py``
+
+The λ-calculus compiler `comp-lc` terminates by structural recursion; the
+*compiled programs* may not.  Dynamic monitoring lets the terminating term
+run to completion and stops the diverging one — something no static
+analysis of the interpreter alone could decide.
+"""
+
+from repro import Answer, run_source
+from repro.corpus.lambda_interp import FIG2_LOOPS, FIG2_OK
+
+
+def banner(text: str) -> None:
+    print(f"\n=== {text} ===")
+
+
+banner("c1 = ((λ (x) (x x)) (λ (y) y)) — terminates")
+answer = run_source(FIG2_OK, mode="contract")
+assert answer.kind == Answer.VALUE
+print("(c1 (hash)) evaluated to a procedure: ", answer.value)
+
+banner("c2 = ((λ (x) (x x)) (λ (y) (y y))) — Ω, caught in flight")
+answer = run_source(FIG2_LOOPS, mode="contract")
+assert answer.kind == Answer.SC_ERROR
+print(answer.violation)
+print("\nNote the blame: the terminating/c on c2, exactly as in Fig. 2's "
+      "comments ('Okay' vs 'Error').")

@@ -1,0 +1,113 @@
+"""Contracts for *total* correctness (§2.3), in both front ends.
+
+Run: ``python examples/total_correctness.py``
+
+The paper's framing: ``terminating/c`` "compliments existing contracts
+that enforce partial correctness specifications to obtain contracts for
+total correctness."  A classical pre/post contract promises "IF this
+returns, the result is right"; adding the termination contract upgrades
+the IF to WHEN — with blame pointing at the component that broke the
+promise.
+"""
+
+from repro import SizeChangeError, run_source
+from repro.contracts import attach, flat, total
+from repro.errors import BlameError
+
+
+def banner(text: str) -> None:
+    print(f"\n=== {text} ===")
+
+
+# -- Python front end -------------------------------------------------------------
+
+nat = flat(lambda v: isinstance(v, int) and not isinstance(v, bool) and v >= 0,
+           "nat?")
+sorted_list = flat(lambda v: isinstance(v, list)
+                   and all(a <= b for a, b in zip(v, v[1:])), "sorted?")
+any_list = flat(lambda v: isinstance(v, list), "list?")
+
+banner("Python: a totally-correct merge sort")
+
+
+@attach(total([any_list], sorted_list), positive="msort-library")
+def msort(xs):
+    if len(xs) <= 1:
+        return xs
+    mid = len(xs) // 2
+    return _merge(msort(xs[:mid]), msort(xs[mid:]))
+
+
+def _merge(xs, ys):
+    if not xs:
+        return ys
+    if not ys:
+        return xs
+    if xs[0] <= ys[0]:
+        return [xs[0]] + _merge(xs[1:], ys)
+    return [ys[0]] + _merge(xs, ys[1:])
+
+
+print("msort([5,1,4,2]) =", msort([5, 1, 4, 2]))
+
+banner("Python: a buggy variant is stopped, with blame")
+
+
+@attach(total([any_list], sorted_list), positive="msort-library")
+def msort_buggy(xs):
+    if len(xs) <= 1:
+        return xs
+    mid = len(xs) // 2
+    return _merge(msort_buggy(xs[:mid]), msort_buggy(xs[mid:] + [0]))  # grows!
+
+
+try:
+    msort_buggy([5, 1, 4, 2])
+except SizeChangeError as exc:
+    print("caught before hanging:")
+    print(" ", str(exc).splitlines()[0], "- blaming", exc.blame)
+
+# -- the embedded language ------------------------------------------------------------
+
+banner("embedded language: define/contract with ->t/c")
+
+GOOD = """
+(define/contract (fact n) (->t/c nat/c nat/c)
+  (if (zero? n) 1 (* n (fact (- n 1)))))
+(fact 10)
+"""
+answer = run_source(GOOD, mode="contract")
+print("(fact 10) =", answer.value)
+
+banner("embedded language: the three ways a total contract fails")
+
+CASES = [
+    ("caller sends a negative", """
+(define/contract (fact n) (->t/c nat/c nat/c)
+  (if (zero? n) 1 (* n (fact (- n 1)))))
+(fact -1)
+"""),
+    ("function returns a lie", """
+(define/contract (fact n) (->t/c nat/c nat/c)
+  (- 0 99))
+(fact 5)
+"""),
+    ("function diverges", """
+(define/contract (fact n) (->t/c nat/c nat/c)
+  (if (zero? n) 1 (* n (fact n))))
+(fact 5)
+"""),
+]
+
+for title, src in CASES:
+    answer = run_source(src, mode="contract")
+    if answer.kind == answer.SC_ERROR:
+        print(f"{title:28s} -> termination violation, blaming "
+              f"{answer.violation.blame}")
+    else:
+        assert isinstance(answer.error, BlameError)
+        print(f"{title:28s} -> contract violation, blaming "
+              f"{answer.error.party}")
+
+print("\nPartial correctness says what a result must look like; the")
+print("termination contract guarantees there is a result to look at.")

@@ -1,0 +1,151 @@
+"""Positive termination certificates: *why* a verified program terminates.
+
+The LJB theorem says a program has the size-change property iff every
+idempotent graph in the composition closure carries a strict self-arc.
+Those self-arcs are the *anchors*: the parameters whose descent breaks
+every potentially-infinite call pattern.  This module re-runs the closure
+and reports them, giving verified verdicts an explanation a user can
+check against their own understanding of the code:
+
+    ack: every repeatable call pattern strictly descends on m or n
+    loop: every repeatable call pattern strictly descends on l
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.sct.graph import SCGraph, STRICT
+
+Edge = Tuple[int, int]
+
+
+class FunctionAnchors:
+    """Anchor report for one function (one λ label)."""
+
+    __slots__ = ("label", "idempotents", "anchor_sets")
+
+    def __init__(self, label: int, idempotents: List[SCGraph]):
+        self.label = label
+        self.idempotents = idempotents
+        self.anchor_sets: List[Set[int]] = [
+            {i for (i, r, j) in g.arcs if r is STRICT and i == j}
+            for g in idempotents
+        ]
+
+    def all_anchored(self) -> bool:
+        return all(self.anchor_sets)
+
+    def anchor_union(self) -> Set[int]:
+        out: Set[int] = set()
+        for anchors in self.anchor_sets:
+            out |= anchors
+        return out
+
+    def common_anchor(self) -> Optional[int]:
+        """A single parameter descending in *every* repeatable pattern, if
+        one exists (the simplest possible termination argument)."""
+        if not self.anchor_sets:
+            return None
+        common = set(self.anchor_sets[0])
+        for anchors in self.anchor_sets[1:]:
+            common &= anchors
+        return min(common) if common else None
+
+
+def collect_anchors(edges: Dict[Edge, Set[SCGraph]],
+                    max_graphs: int = 20000) -> Optional[Dict[int, FunctionAnchors]]:
+    """Close ``edges`` and group the idempotent self-compositions by
+    function.  Returns ``None`` when the closure blows the cap or some
+    idempotent graph lacks a strict self-arc (no certificate: the SCP
+    fails or is undetermined)."""
+    graphs: Dict[Edge, Set[SCGraph]] = {}
+    by_source: Dict[int, Set[int]] = {}
+    by_target: Dict[int, Set[int]] = {}
+    total = 0
+    queue = deque()
+
+    def add(edge: Edge, graph: SCGraph) -> bool:
+        nonlocal total
+        bucket = graphs.setdefault(edge, set())
+        if graph in bucket:
+            return False
+        bucket.add(graph)
+        by_source.setdefault(edge[0], set()).add(edge[1])
+        by_target.setdefault(edge[1], set()).add(edge[0])
+        total += 1
+        return True
+
+    for edge, graph_set in edges.items():
+        for graph in graph_set:
+            if add(edge, graph):
+                queue.append((edge, graph))
+
+    while queue:
+        (f, g), G = queue.popleft()
+        if f == g and G.is_idempotent() and not G.has_strict_self_arc():
+            return None
+        for h in list(by_source.get(g, ())):
+            for H in list(graphs.get((g, h), ())):
+                if add((f, h), G.compose(H)):
+                    queue.append(((f, h), G.compose(H)))
+        for e in list(by_target.get(f, ())):
+            for E in list(graphs.get((e, f), ())):
+                if add((e, g), E.compose(G)):
+                    queue.append(((e, g), E.compose(G)))
+        if total > max_graphs:
+            return None
+
+    report: Dict[int, FunctionAnchors] = {}
+    for (f, g), bucket in graphs.items():
+        if f != g:
+            continue
+        idempotents = [G for G in bucket if G.is_idempotent()]
+        if idempotents:
+            report[f] = FunctionAnchors(f, idempotents)
+    return report
+
+
+def explain_termination(
+    edges: Dict[Edge, Set[SCGraph]],
+    label_names: Optional[Dict[int, str]] = None,
+    label_params: Optional[Dict[int, List[str]]] = None,
+) -> List[str]:
+    """Human-readable anchor lines for a verified program (empty when no
+    certificate is available)."""
+    report = collect_anchors(edges)
+    if report is None:
+        return []
+
+    def nm(label: int) -> str:
+        if label_names and label in label_names:
+            return label_names[label]
+        return f"λ{label}"
+
+    def pnames(label: int, params: Set[int]) -> List[str]:
+        names = label_params.get(label) if label_params else None
+        out = []
+        for i in sorted(params):
+            if names and i < len(names):
+                out.append(names[i])
+            else:
+                out.append(f"x{i}")
+        return out
+
+    lines = []
+    for label in sorted(report):
+        anchors = report[label]
+        if not anchors.all_anchored():
+            continue
+        common = anchors.common_anchor()
+        if common is not None:
+            [name] = pnames(label, {common})
+            lines.append(f"{nm(label)}: every repeatable call pattern "
+                         f"strictly descends on {name}")
+        else:
+            names = pnames(label, anchors.anchor_union())
+            lines.append(f"{nm(label)}: every repeatable call pattern "
+                         f"strictly descends on one of "
+                         f"{{{', '.join(names)}}}")
+    return lines

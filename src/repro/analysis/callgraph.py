@@ -1,0 +1,278 @@
+"""Monovariant control-flow analysis (0-CFA) for the core language.
+
+Computes which λ labels can flow to each application's operator, giving
+
+* a higher-order call graph (needed by the classic static SCT baseline of
+  §2.1/§2.2, where "computing call-graphs is itself a significant,
+  extensively studied problem"), and
+* the *loop-entry* label set used by the monitor's loop-entry optimization
+  (§5): only closures whose label sits on a call-graph cycle can witness
+  divergence, so monitoring just those is sound.
+
+Closures escaping into data structures are tracked through a single global
+"store" set (constructor primitives feed it, accessor primitives read it) —
+coarse, but sound, and exactly coarse enough to reproduce the paper's
+observation that static analysis conflates the CPS continuations of §2.2.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, List, Optional, Set, Tuple
+
+from repro.lang import ast
+from repro.lang.program import Program, TopDefine
+from repro.sexp.datum import Symbol
+
+TOP = -1
+
+_CONSTRUCTORS = frozenset({
+    "cons", "list", "append", "reverse", "hash", "hash-set", "box",
+    "set-box!",
+})
+_ACCESSORS = frozenset({
+    "car", "cdr", "first", "rest", "second", "third", "caar", "cadr",
+    "cdar", "cddr", "caddr", "cdddr", "cadddr", "list-ref", "member",
+    "memq", "memv", "assoc", "assq", "assv", "hash-ref", "unbox", "last",
+})
+
+
+class CallGraph:
+    def __init__(self):
+        # λ label (or TOP) → labels it may call.
+        self.edges: Set[Tuple[int, int]] = set()
+        self.lambdas: Dict[int, ast.Lam] = {}
+        self.app_callees: Dict[int, FrozenSet[int]] = {}
+        self.var_flow: Dict[Symbol, Set[int]] = {}
+
+    def callees_of(self, label: int) -> Set[int]:
+        return {g for (f, g) in self.edges if f == label}
+
+    def label_name(self, label: int) -> str:
+        if label == TOP:
+            return "<top>"
+        lam = self.lambdas.get(label)
+        return (lam.name if lam and lam.name else f"λ{label}")
+
+
+class _Analyzer:
+    def __init__(self, program: Program):
+        self.program = program
+        self.node_flow: Dict[int, Set[int]] = {}
+        self.var_flow: Dict[Symbol, Set[int]] = {}
+        self.store: Set[int] = set()
+        self.lambdas: Dict[int, ast.Lam] = {}
+        self.apps: List[Tuple[ast.App, int]] = []   # (node, owner label)
+        self.changed = True
+        self.graph = CallGraph()
+        self._collect()
+
+    # -- structure collection -------------------------------------------------
+
+    def _collect(self) -> None:
+        for form in self.program.forms:
+            self._walk(form.expr, TOP)
+            if isinstance(form, TopDefine):
+                self._flow_var(form.name, self._flow(form.expr))
+
+    def _walk(self, node: ast.Node, owner: int) -> None:
+        k = node.kind
+        if k == ast.K_LAM:
+            self.lambdas[node.label] = node
+            self._walk(node.body, node.label)
+        elif k == ast.K_APP:
+            self.apps.append((node, owner))
+            self._walk(node.fn, owner)
+            for a in node.args:
+                self._walk(a, owner)
+        elif k == ast.K_IF:
+            self._walk(node.test, owner)
+            self._walk(node.then, owner)
+            self._walk(node.els, owner)
+        elif k == ast.K_BEGIN:
+            for e in node.body:
+                self._walk(e, owner)
+        elif k in (ast.K_LET, ast.K_LETREC):
+            for e in node.rhss:
+                self._walk(e, owner)
+            self._walk(node.body, owner)
+        elif k == ast.K_SET:
+            self._walk(node.expr, owner)
+        elif k == ast.K_TERMC:
+            self._walk(node.expr, owner)
+
+    # -- flow lattice -------------------------------------------------------------
+
+    def _flow(self, node: ast.Node) -> Set[int]:
+        return self.node_flow.setdefault(id(node), set())
+
+    def _add_flow(self, node: ast.Node, labels: Set[int]) -> None:
+        flow = self._flow(node)
+        before = len(flow)
+        flow.update(labels)
+        if len(flow) != before:
+            self.changed = True
+
+    def _flow_var(self, name: Symbol, labels: Set[int]) -> None:
+        flow = self.var_flow.setdefault(name, set())
+        before = len(flow)
+        flow.update(labels)
+        if len(flow) != before:
+            self.changed = True
+
+    # -- constraint propagation ------------------------------------------------------
+
+    def run(self) -> CallGraph:
+        while self.changed:
+            self.changed = False
+            for form in self.program.forms:
+                self._pass(form.expr)
+                if isinstance(form, TopDefine):
+                    self._flow_var(form.name, self._flow(form.expr))
+        graph = self.graph
+        graph.lambdas = self.lambdas
+        graph.var_flow = self.var_flow
+        for app, owner in self.apps:
+            callees = self._callees(app)
+            graph.app_callees[id(app)] = frozenset(callees)
+            for callee in callees:
+                graph.edges.add((owner, callee))
+        return graph
+
+    def _callees(self, app: ast.App) -> Set[int]:
+        return set(self._flow(app.fn))
+
+    def _pass(self, node: ast.Node) -> None:
+        k = node.kind
+        if k == ast.K_LIT:
+            return
+        if k == ast.K_VAR:
+            self._add_flow(node, self.var_flow.get(node.name, set()))
+            return
+        if k == ast.K_LAM:
+            self._add_flow(node, {node.label})
+            self._pass(node.body)
+            return
+        if k == ast.K_APP:
+            self._pass(node.fn)
+            for a in node.args:
+                self._pass(a)
+            fn_name = node.fn.name.name if node.fn.kind == ast.K_VAR else None
+            known_var = (
+                node.fn.kind == ast.K_VAR and node.fn.name in self.var_flow
+            )
+            for label in list(self._flow(node.fn)):
+                lam = self.lambdas[label]
+                if len(lam.params) == len(node.args):
+                    for p, a in zip(lam.params, node.args):
+                        self._flow_var(p, self._flow(a))
+                    self._add_flow(node, self._flow(lam.body))
+            # Primitive data flow: constructors feed the store, accessors
+            # read it.  (A variable holding closures is not a primitive.)
+            if fn_name is not None and not known_var:
+                if fn_name in _CONSTRUCTORS:
+                    for a in node.args:
+                        before = len(self.store)
+                        self.store.update(self._flow(a))
+                        if len(self.store) != before:
+                            self.changed = True
+                if fn_name in _ACCESSORS:
+                    self._add_flow(node, self.store)
+            return
+        if k == ast.K_IF:
+            self._pass(node.test)
+            self._pass(node.then)
+            self._pass(node.els)
+            self._add_flow(node, self._flow(node.then))
+            self._add_flow(node, self._flow(node.els))
+            return
+        if k == ast.K_BEGIN:
+            for e in node.body:
+                self._pass(e)
+            self._add_flow(node, self._flow(node.body[-1]))
+            return
+        if k in (ast.K_LET, ast.K_LETREC):
+            for name, rhs in zip(node.names, node.rhss):
+                self._pass(rhs)
+                self._flow_var(name, self._flow(rhs))
+            self._pass(node.body)
+            self._add_flow(node, self._flow(node.body))
+            return
+        if k == ast.K_SET:
+            self._pass(node.expr)
+            self._flow_var(node.name, self._flow(node.expr))
+            return
+        if k == ast.K_TERMC:
+            self._pass(node.expr)
+            self._add_flow(node, self._flow(node.expr))
+            return
+
+
+def analyze_callgraph(program: Program) -> CallGraph:
+    return _Analyzer(program).run()
+
+
+def loop_entry_labels(program: Program) -> Set[int]:
+    """Labels possibly on a call-graph cycle (sound loop-entry set for the
+    monitor: every divergence must pass through one infinitely often)."""
+    graph = analyze_callgraph(program)
+    succ: Dict[int, Set[int]] = {}
+    for (f, g) in graph.edges:
+        if f != TOP:
+            succ.setdefault(f, set()).add(g)
+    return _labels_in_cycles(succ)
+
+
+def _labels_in_cycles(succ: Dict[int, Set[int]]) -> Set[int]:
+    """Nodes inside a non-trivial SCC or carrying a self-loop (iterative
+    Tarjan)."""
+    index: Dict[int, int] = {}
+    low: Dict[int, int] = {}
+    on_stack: Set[int] = set()
+    stack: List[int] = []
+    counter = [0]
+    result: Set[int] = set()
+    nodes = set(succ)
+    for targets in succ.values():
+        nodes.update(targets)
+
+    for root in nodes:
+        if root in index:
+            continue
+        work = [(root, iter(sorted(succ.get(root, ()))))]
+        index[root] = low[root] = counter[0]
+        counter[0] += 1
+        stack.append(root)
+        on_stack.add(root)
+        while work:
+            node, it = work[-1]
+            advanced = False
+            for nxt in it:
+                if nxt not in index:
+                    index[nxt] = low[nxt] = counter[0]
+                    counter[0] += 1
+                    stack.append(nxt)
+                    on_stack.add(nxt)
+                    work.append((nxt, iter(sorted(succ.get(nxt, ())))))
+                    advanced = True
+                    break
+                if nxt in on_stack:
+                    low[node] = min(low[node], index[nxt])
+            if advanced:
+                continue
+            work.pop()
+            if work:
+                parent = work[-1][0]
+                low[parent] = min(low[parent], low[node])
+            if low[node] == index[node]:
+                scc = []
+                while True:
+                    member = stack.pop()
+                    on_stack.discard(member)
+                    scc.append(member)
+                    if member == node:
+                        break
+                if len(scc) > 1:
+                    result.update(scc)
+                elif scc[0] in succ.get(scc[0], ()):
+                    result.add(scc[0])  # self loop
+    return result

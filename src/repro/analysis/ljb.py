@@ -1,0 +1,85 @@
+"""Phase 2 of size-change termination (Lee–Jones–Ben-Amram, POPL 2001).
+
+Given a multigraph of size-change graphs on call-graph edges, close it
+under composition along paths; the program has the size-change property
+iff every idempotent self-composition ``f → f`` carries a strict self-arc.
+
+The closure is the standard worklist algorithm (each popped graph composes
+with everything currently to its right *and* to its left, so late arrivals
+still meet earlier graphs); graph sets per edge are finite, and a
+configurable cap guards against pathological blowup (reported as
+"undetermined" rather than as a verdict).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.sct.graph import SCGraph
+
+Edge = Tuple[int, int]
+
+
+class SCPResult:
+    """``ok`` is True (SCP holds), False (violated, see witness), or None
+    (closure blew the cap — undetermined)."""
+
+    def __init__(self, ok: Optional[bool], witness_label: Optional[int] = None,
+                 witness_graph: Optional[SCGraph] = None, total_graphs: int = 0):
+        self.ok = ok
+        self.witness_label = witness_label
+        self.witness_graph = witness_graph
+        self.total_graphs = total_graphs
+
+    def __repr__(self) -> str:
+        return f"SCPResult(ok={self.ok})"
+
+
+class _Closure:
+    def __init__(self):
+        self.graphs: Dict[Edge, Set[SCGraph]] = {}
+        self.by_source: Dict[int, Set[int]] = {}
+        self.by_target: Dict[int, Set[int]] = {}
+        self.total = 0
+
+    def add(self, edge: Edge, graph: SCGraph) -> bool:
+        bucket = self.graphs.setdefault(edge, set())
+        if graph in bucket:
+            return False
+        bucket.add(graph)
+        self.by_source.setdefault(edge[0], set()).add(edge[1])
+        self.by_target.setdefault(edge[1], set()).add(edge[0])
+        self.total += 1
+        return True
+
+
+def scp_check(edges: Dict[Edge, Set[SCGraph]], max_graphs: int = 20000) -> SCPResult:
+    """Close ``edges`` under composition and check the SCP."""
+    state = _Closure()
+    queue = deque()
+    for edge, graphs in edges.items():
+        for graph in graphs:
+            if state.add(edge, graph):
+                queue.append((edge, graph))
+
+    while queue:
+        (f, g), G = queue.popleft()
+        if f == g and G.is_idempotent() and not G.has_strict_self_arc():
+            return SCPResult(False, witness_label=f, witness_graph=G,
+                             total_graphs=state.total)
+        # Compose to the right: G ; H for H on (g, h).
+        for h in list(state.by_source.get(g, ())):
+            for H in list(state.graphs.get((g, h), ())):
+                composed = G.compose(H)
+                if state.add((f, h), composed):
+                    queue.append(((f, h), composed))
+        # Compose to the left: E ; G for E on (e, f).
+        for e in list(state.by_target.get(f, ())):
+            for E in list(state.graphs.get((e, f), ())):
+                composed = E.compose(G)
+                if state.add((e, g), composed):
+                    queue.append(((e, g), composed))
+        if state.total > max_graphs:
+            return SCPResult(None, total_graphs=state.total)
+    return SCPResult(True, total_graphs=state.total)

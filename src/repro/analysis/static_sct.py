@@ -1,0 +1,131 @@
+"""The classic static SCT analysis (Lee–Jones–Ben-Amram, as sketched in
+§2.1), on top of 0-CFA.
+
+Phase 1 derives size-change graphs *syntactically*: an argument expression
+relates to a caller parameter when it is the parameter itself (``↓=``) or a
+structurally smaller projection of it (``car``/``cdr`` chains, ``sub1``,
+``(- x k)`` for positive literals ``k`` — strict ``↓``).  Phase 2 is the
+shared LJB closure (:mod:`repro.analysis.ljb`).
+
+This baseline exists to reproduce the paper's §2.2 point: on the CPS
+``len`` function, 0-CFA must conflate the continuation closures, the
+conflated entry shows a spurious "call with a larger argument", and the
+analysis rejects — while the dynamic monitor accepts the same program.
+It is also what justifies the monitor's whitelist: anything this analysis
+verifies needs no instrumentation.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.analysis.callgraph import TOP, CallGraph, analyze_callgraph
+from repro.analysis.ljb import SCPResult, scp_check
+from repro.lang import ast
+from repro.lang.program import Program
+from repro.sct.graph import SCGraph, STRICT, WEAK
+from repro.sexp.datum import Symbol, intern
+
+_STRICT_UNARY = {
+    intern("car"), intern("cdr"), intern("first"), intern("rest"),
+    intern("sub1"), intern("caar"), intern("cadr"), intern("cdar"),
+    intern("cddr"), intern("caddr"), intern("cdddr"), intern("cadddr"),
+    intern("second"), intern("third"),
+}
+
+_MINUS = intern("-")
+
+
+class StaticSCTResult:
+    def __init__(self, ok: Optional[bool], witness_name: str = "",
+                 witness_graph=None, edges=None, graph: Optional[CallGraph] = None):
+        self.ok = ok
+        self.witness_name = witness_name
+        self.witness_graph = witness_graph
+        self.edges = edges or {}
+        self.callgraph = graph
+
+    def __repr__(self) -> str:
+        return f"StaticSCTResult(ok={self.ok})"
+
+
+def _syntactic_relation(arg: ast.Node, param: Symbol) -> Optional[bool]:
+    """STRICT/WEAK/None: how ``arg`` relates to the binding of ``param``."""
+    if arg.kind == ast.K_VAR:
+        return WEAK if arg.name is param else None
+    if arg.kind == ast.K_APP and arg.fn.kind == ast.K_VAR:
+        head = arg.fn.name
+        if head in _STRICT_UNARY and len(arg.args) == 1:
+            inner = _syntactic_relation(arg.args[0], param)
+            return STRICT if inner is not None else None
+        if head is _MINUS and len(arg.args) == 2:
+            k = arg.args[1]
+            if k.kind == ast.K_LIT and type(k.value) is int and k.value > 0:
+                inner = _syntactic_relation(arg.args[0], param)
+                # (- x k) is a *conventional* strict descent (classic SCT
+                # assumes well-founded naturals); the symbolic verifier is
+                # the path-sensitive refinement of this rule.
+                return STRICT if inner is not None else None
+    return None
+
+
+def static_sct_check(program: Program) -> StaticSCTResult:
+    """Run phases 1 and 2; ``ok=None`` when the closure blows its cap."""
+    graph = analyze_callgraph(program)
+    edges: Dict[Tuple[int, int], Set[SCGraph]] = {}
+    for app, owner in _apps_with_owner(program):
+        if owner == TOP:
+            continue
+        caller = graph.lambdas[owner]
+        for callee_label in graph.app_callees.get(id(app), ()):
+            callee = graph.lambdas[callee_label]
+            if len(callee.params) != len(app.args):
+                continue
+            arcs = []
+            for i, param in enumerate(caller.params):
+                for j, arg in enumerate(app.args):
+                    rel = _syntactic_relation(arg, param)
+                    if rel is not None:
+                        arcs.append((i, rel, j))
+            edges.setdefault((owner, callee_label), set()).add(SCGraph(arcs))
+    scp = scp_check(edges)
+    if scp.ok is False:
+        return StaticSCTResult(
+            False,
+            witness_name=graph.label_name(scp.witness_label),
+            witness_graph=scp.witness_graph,
+            edges=edges,
+            graph=graph,
+        )
+    return StaticSCTResult(scp.ok, edges=edges, graph=graph)
+
+
+def _apps_with_owner(program: Program) -> List[Tuple[ast.App, int]]:
+    out: List[Tuple[ast.App, int]] = []
+
+    def walk(node: ast.Node, owner: int) -> None:
+        k = node.kind
+        if k == ast.K_LAM:
+            walk(node.body, node.label)
+        elif k == ast.K_APP:
+            out.append((node, owner))
+            walk(node.fn, owner)
+            for a in node.args:
+                walk(a, owner)
+        elif k == ast.K_IF:
+            walk(node.test, owner)
+            walk(node.then, owner)
+            walk(node.els, owner)
+        elif k == ast.K_BEGIN:
+            for e in node.body:
+                walk(e, owner)
+        elif k in (ast.K_LET, ast.K_LETREC):
+            for e in node.rhss:
+                walk(e, owner)
+            walk(node.body, owner)
+        elif k in (ast.K_SET, ast.K_TERMC):
+            walk(node.expr, owner)
+
+    for form in program.forms:
+        walk(form.expr, TOP)
+    return out

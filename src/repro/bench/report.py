@@ -1,0 +1,34 @@
+"""Plain-text table rendering for benchmark reports."""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+
+def render_table(headers: Sequence[str], rows: List[Sequence[str]],
+                 title: str = "") -> str:
+    widths = [len(h) for h in headers]
+    for row in rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(str(cell)))
+
+    def fmt(cells) -> str:
+        return "  ".join(str(c).ljust(w) for c, w in zip(cells, widths)).rstrip()
+
+    lines = []
+    if title:
+        lines.append(title)
+        lines.append("=" * len(title))
+    lines.append(fmt(headers))
+    lines.append(fmt(["-" * w for w in widths]))
+    for row in rows:
+        lines.append(fmt(row))
+    return "\n".join(lines)
+
+
+def fmt_ms(seconds: float) -> str:
+    return f"{seconds * 1000:.2f}ms"
+
+
+def fmt_factor(x: float) -> str:
+    return f"{x:.1f}x"

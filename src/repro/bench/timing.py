@@ -1,0 +1,41 @@
+"""Small timing utilities (perf_counter, best-of-N)."""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, Optional, Tuple
+
+from repro.eval.machine import Answer, run_source
+from repro.lang.parser import parse_program
+from repro.eval.machine import run_program
+from repro.sct.monitor import SCMonitor
+
+
+def time_once(fn: Callable[[], object]) -> Tuple[float, object]:
+    t0 = time.perf_counter()
+    result = fn()
+    return time.perf_counter() - t0, result
+
+
+def best_of(fn: Callable[[], object], repeats: int = 3) -> Tuple[float, object]:
+    """Minimum wall time over ``repeats`` runs (robust to scheduler noise)."""
+    best = float("inf")
+    result = None
+    for _ in range(repeats):
+        dt, result = time_once(fn)
+        best = min(best, dt)
+    return best, result
+
+
+def time_program(source: str, *, mode: str, strategy: str = "cm",
+                 monitor_factory: Optional[Callable[[], SCMonitor]] = None,
+                 repeats: int = 3) -> Tuple[float, Answer]:
+    """Parse once, then time the runs (parsing excluded, as the paper's
+    timings exclude compilation)."""
+    program = parse_program(source)
+
+    def run() -> Answer:
+        monitor = monitor_factory() if monitor_factory else SCMonitor()
+        return run_program(program, mode=mode, strategy=strategy, monitor=monitor)
+
+    return best_of(run, repeats)

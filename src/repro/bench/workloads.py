@@ -1,0 +1,94 @@
+"""The Fig. 10 workloads, parameterized by input size.
+
+Direct versions run on the host machine's object language; interpreted
+versions run inside the compile-to-closures Scheme interpreter
+(:mod:`repro.corpus.interpreter`).  Sizes are scaled relative to the
+paper's Racket runs (a Python CEK machine is a few hundred times slower
+than compiled Racket); the reproduced claim is the overhead *shape*, which
+is size-independent in both settings.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.corpus.interpreter import (
+    interpreted_factorial_source,
+    interpreted_msort_source,
+    interpreted_sum_source,
+)
+
+
+def factorial_source(n: int) -> str:
+    """Non-tail factorial: significant (bignum) work between calls —
+    the paper's negligible-overhead case."""
+    return f"""
+(define (fact n) (if (zero? n) 1 (* n (fact (- n 1)))))
+(fact {n})
+"""
+
+
+def sum_source(n: int) -> str:
+    """Tight tail-recursive loop: almost no work between calls — the
+    paper's worst case for monitoring overhead."""
+    return f"""
+(define (sum n acc) (if (zero? n) acc (sum (- n 1) (+ acc n))))
+(sum {n} 0)
+"""
+
+
+def msort_source(n: int, seed: int = 11) -> str:
+    """Merge sort over a shuffled list: large data structures flow through
+    the monitor — the paper's worst case for graph-construction cost."""
+    rng = random.Random(seed)
+    values = list(range(n))
+    rng.shuffle(values)
+    data = " ".join(str(v) for v in values)
+    return f"""
+(define (merge xs ys)
+  (cond [(null? xs) ys]
+        [(null? ys) xs]
+        [(< (car xs) (car ys)) (cons (car xs) (merge (cdr xs) ys))]
+        [else (cons (car ys) (merge xs (cdr ys)))]))
+(define (split l)
+  (if (or (null? l) (null? (cdr l)))
+      (cons l '())
+      (let ([r (split (cddr l))])
+        (cons (cons (car l) (car r)) (cons (cadr l) (cdr r))))))
+(define (msort l)
+  (if (or (null? l) (null? (cdr l)))
+      l
+      (let ([halves (split l)])
+        (merge (msort (car halves)) (msort (cdr halves))))))
+(length (msort '({data})))
+"""
+
+
+WORKLOADS = {
+    "factorial": factorial_source,
+    "sum": sum_source,
+    "merge-sort": msort_source,
+    "interp-factorial": interpreted_factorial_source,
+    "interp-sum": interpreted_sum_source,
+    "interp-merge-sort": interpreted_msort_source,
+}
+
+# Input-size sweeps: "quick" for CI, "full" for the real figure.
+SIZES = {
+    "quick": {
+        "factorial": [60, 120, 240],
+        "sum": [300, 600, 1200],
+        "merge-sort": [32, 64, 128],
+        "interp-factorial": [20, 40, 80],
+        "interp-sum": [30, 60, 120],
+        "interp-merge-sort": [8, 16, 32],
+    },
+    "full": {
+        "factorial": [200, 400, 800, 1600],
+        "sum": [2000, 4000, 8000, 16000],
+        "merge-sort": [128, 256, 512, 1024],
+        "interp-factorial": [50, 100, 200, 400],
+        "interp-sum": [100, 200, 400, 800],
+        "interp-merge-sort": [16, 32, 64, 128],
+    },
+}

@@ -1,0 +1,202 @@
+"""Command-line interface: ``sized`` (or ``python -m repro``).
+
+Subcommands::
+
+    sized run FILE [--mode off|contract|full] [--strategy cm|imperative]
+                   [--backoff] [--mc] [--max-steps N]
+    sized verify FILE --entry NAME [--kinds nat,nat] [--result-kind nat]
+                      [--mc]
+    sized trace FILE [--mode full|contract] [--mc] [--max-steps N]
+                     [--max-depth N] [--max-nodes N]
+    sized bench table1|fig10|divergence|ablation [--scale quick|full]
+    sized corpus [--diverging]
+
+``--mc`` switches the evidence from size-change graphs to monotonicity-
+constraint graphs (the paper's §6.2 future-work extension): counting-up-
+to-a-ceiling loops pass without custom measures.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.eval.machine import Answer, run_source
+from repro.sct.monitor import SCMonitor
+from repro.values.values import write_value
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="sized",
+        description="Size-change termination as a contract (PLDI 2019 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_run = sub.add_parser("run", help="run a program in the embedded language")
+    p_run.add_argument("file")
+    p_run.add_argument("--mode", choices=["off", "contract", "full"],
+                       default="contract")
+    p_run.add_argument("--strategy", choices=["cm", "imperative"], default="cm")
+    p_run.add_argument("--backoff", action="store_true")
+    p_run.add_argument("--mc", action="store_true",
+                       help="monitor with monotonicity-constraint graphs")
+    p_run.add_argument("--max-steps", type=int, default=None)
+
+    p_verify = sub.add_parser("verify", help="statically verify termination")
+    p_verify.add_argument("file")
+    p_verify.add_argument("--entry", required=True)
+    p_verify.add_argument("--kinds", default="",
+                          help="comma-separated: nat,int,list,pair,fun,any")
+    p_verify.add_argument("--result-kind", default=None,
+                          help="contract range of the entry (nat/int)")
+    p_verify.add_argument("--mc", action="store_true",
+                          help="verify with monotonicity constraints")
+
+    p_trace = sub.add_parser(
+        "trace", help="print the Fig. 1 style call/size-change tree")
+    p_trace.add_argument("file")
+    p_trace.add_argument("--mode", choices=["contract", "full"],
+                         default="full")
+    p_trace.add_argument("--mc", action="store_true")
+    p_trace.add_argument("--max-steps", type=int, default=None)
+    p_trace.add_argument("--max-depth", type=int, default=None)
+    p_trace.add_argument("--max-nodes", type=int, default=200)
+
+    p_bench = sub.add_parser("bench", help="regenerate a table or figure")
+    p_bench.add_argument("which",
+                         choices=["table1", "fig10", "divergence", "ablation",
+                                  "mc"])
+    p_bench.add_argument("--scale", choices=["quick", "full"], default="quick")
+    p_bench.add_argument("--repeats", type=int, default=3)
+
+    p_corpus = sub.add_parser("corpus", help="list the evaluation corpus")
+    p_corpus.add_argument("--diverging", action="store_true")
+
+    args = parser.parse_args(argv)
+    if args.command == "run":
+        return _cmd_run(args)
+    if args.command == "verify":
+        return _cmd_verify(args)
+    if args.command == "trace":
+        return _cmd_trace(args)
+    if args.command == "bench":
+        return _cmd_bench(args)
+    if args.command == "corpus":
+        return _cmd_corpus(args)
+    return 2
+
+
+def _make_monitor(mc: bool, **options):
+    if mc:
+        from repro.mc.monitor import MCMonitor
+
+        return MCMonitor(**options)
+    return SCMonitor(**options)
+
+
+def _cmd_run(args) -> int:
+    with open(args.file) as f:
+        source = f.read()
+    monitor = _make_monitor(args.mc, backoff=args.backoff)
+    answer = run_source(source, mode=args.mode, strategy=args.strategy,
+                        monitor=monitor, max_steps=args.max_steps,
+                        source=args.file)
+    if answer.output:
+        sys.stdout.write(answer.output)
+        if not answer.output.endswith("\n"):
+            sys.stdout.write("\n")
+    if answer.kind == Answer.VALUE:
+        print(write_value(answer.value))
+        return 0
+    if answer.kind == Answer.SC_ERROR:
+        print(answer.violation, file=sys.stderr)
+        return 3
+    if answer.kind == Answer.TIMEOUT:
+        print("machine timeout (step budget exhausted)", file=sys.stderr)
+        return 4
+    print(f"run-time error: {answer.error}", file=sys.stderr)
+    return 1
+
+
+def _cmd_verify(args) -> int:
+    if args.mc:
+        from repro.mc.static import verify_source_mc as verify
+    else:
+        from repro.symbolic import verify_source as verify
+
+    with open(args.file) as f:
+        source = f.read()
+    kinds = [k for k in args.kinds.split(",") if k]
+    result_kinds = {args.entry: args.result_kind} if args.result_kind else None
+    verdict = verify(source, args.entry, kinds, result_kinds=result_kinds)
+    print(verdict.render())
+    return 0 if verdict.verified else 3
+
+
+def _cmd_trace(args) -> int:
+    from repro.sct.trace import render_tree, trace_source
+
+    with open(args.file) as f:
+        source = f.read()
+    result = trace_source(source, monitor=_make_monitor(args.mc),
+                          mode=args.mode, max_steps=args.max_steps)
+    print(render_tree(result.roots, max_depth=args.max_depth,
+                      max_nodes=args.max_nodes))
+    answer = result.answer
+    if answer.kind == Answer.VALUE:
+        print(f"⇒ {write_value(answer.value)}")
+        return 0
+    if answer.kind == Answer.SC_ERROR:
+        print(answer.violation, file=sys.stderr)
+        return 3
+    if answer.kind == Answer.TIMEOUT:
+        print("machine timeout (step budget exhausted)", file=sys.stderr)
+        return 4
+    print(f"run-time error: {answer.error}", file=sys.stderr)
+    return 1
+
+
+def _cmd_bench(args) -> int:
+    if args.which == "table1":
+        from repro.bench import render_table1, run_table1
+
+        print(render_table1(run_table1()))
+    elif args.which == "fig10":
+        from repro.bench import render_fig10, run_fig10
+
+        print(render_fig10(run_fig10(scale=args.scale, repeats=args.repeats)))
+    elif args.which == "divergence":
+        from repro.bench import render_divergence, run_divergence
+
+        print(render_divergence(run_divergence()))
+    elif args.which == "mc":
+        from repro.bench import render_mc, run_mc_dynamic, run_mc_static
+
+        print(render_mc(run_mc_static(),
+                        run_mc_dynamic(scale=args.scale,
+                                       repeats=args.repeats)))
+    else:
+        from repro.bench import render_ablation, run_ablation
+
+        print(render_ablation(run_ablation(scale=args.scale,
+                                           repeats=args.repeats)))
+    return 0
+
+
+def _cmd_corpus(args) -> int:
+    from repro.corpus import all_programs, diverging_programs
+
+    if args.diverging:
+        for d in diverging_programs():
+            print(f"{d.name:20s} {d.notes.splitlines()[0] if d.notes else ''}")
+    else:
+        for p in all_programs():
+            paper = "/".join(c or "-" for c in p.paper)
+            print(f"{p.name:15s} paper={paper:22s} {p.notes.splitlines()[0]}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,57 @@
+"""Findler–Felleisen behavioural contracts with blame, composing partial
+correctness (flat / function contracts) with the paper's termination
+contract into contracts for **total correctness** (§1, §2.3).
+
+The embedded language has ``(terminating/c e)`` built into its syntax; this
+package provides the same compositional story for host (Python) callables:
+
+>>> from repro.contracts import flat, arrow, terminating_c, total, attach
+>>> is_nat = flat(lambda v: isinstance(v, int) and v >= 0, "nat?")
+>>> ctc = total([is_nat], is_nat)          # (-> nat? nat?) ∧ terminating
+>>> @attach(ctc, positive="factorial", negative="caller")
+... def fact(n):
+...     return 1 if n == 0 else n * fact(n - 1)
+>>> fact(5)
+120
+"""
+
+from repro.contracts.blame import Blame, ContractViolation
+from repro.contracts.combinators import (
+    AndContract,
+    ArrowContract,
+    Contract,
+    FlatContract,
+    ListOfContract,
+    OrContract,
+    TerminatingContract,
+    and_c,
+    any_c,
+    arrow,
+    attach,
+    flat,
+    listof,
+    or_c,
+    terminating_c,
+    total,
+)
+
+__all__ = [
+    "Blame",
+    "ContractViolation",
+    "Contract",
+    "FlatContract",
+    "AndContract",
+    "OrContract",
+    "ListOfContract",
+    "ArrowContract",
+    "TerminatingContract",
+    "flat",
+    "and_c",
+    "or_c",
+    "any_c",
+    "listof",
+    "arrow",
+    "terminating_c",
+    "total",
+    "attach",
+]

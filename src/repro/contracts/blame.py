@@ -1,0 +1,39 @@
+"""Blame tracking for contracts (Findler–Felleisen).
+
+A :class:`Blame` names two parties: the *positive* party (the component
+that promised the contract — blamed when the value misbehaves) and the
+*negative* party (the client — blamed when the value is *used* outside the
+contract, e.g. a bad argument to a contracted function).  Function contracts
+swap the parties on their domains.
+"""
+
+from __future__ import annotations
+
+
+class Blame:
+    __slots__ = ("positive", "negative", "source")
+
+    def __init__(self, positive: str, negative: str, source: str = ""):
+        self.positive = positive
+        self.negative = negative
+        self.source = source
+
+    def swap(self) -> "Blame":
+        return Blame(self.negative, self.positive, self.source)
+
+    def __repr__(self) -> str:
+        return f"Blame(+{self.positive!r}, -{self.negative!r})"
+
+
+class ContractViolation(Exception):
+    """A contract failure, charging ``party``."""
+
+    def __init__(self, party: str, contract_name: str, value, detail: str = ""):
+        self.party = party
+        self.contract_name = contract_name
+        self.value = value
+        message = f"contract violation: {contract_name}, blaming {party}"
+        message += f"\n  value: {value!r}"
+        if detail:
+            message += f"\n  {detail}"
+        super().__init__(message)

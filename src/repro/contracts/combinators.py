@@ -1,0 +1,189 @@
+"""Contract combinators.
+
+``flat`` checks immediately; ``arrow`` wraps callables and defers checking
+to call boundaries with blame swapping on domains; ``terminating_c`` is the
+paper's contribution — a contract on the *liveness-implying safety property*
+of size-change termination; ``total`` conjoins an arrow with termination,
+giving a contract for total correctness.
+"""
+
+from __future__ import annotations
+
+import functools
+from typing import Callable, Iterable, List, Optional, Sequence
+
+from repro.contracts.blame import Blame, ContractViolation
+from repro.pyterm.decorator import terminating
+
+
+class Contract:
+    """Base class.  ``wrap(value, blame)`` returns a (possibly proxied)
+    value that honours the contract, or raises :class:`ContractViolation`
+    immediately for first-order violations."""
+
+    name = "contract"
+
+    def wrap(self, value, blame: Blame):
+        raise NotImplementedError
+
+    def __repr__(self) -> str:
+        return self.name
+
+
+class FlatContract(Contract):
+    def __init__(self, predicate: Callable[[object], bool], name: Optional[str] = None):
+        self.predicate = predicate
+        self.name = name or getattr(predicate, "__name__", "flat")
+
+    def wrap(self, value, blame: Blame):
+        ok = False
+        try:
+            ok = bool(self.predicate(value))
+        except Exception as exc:  # a crashing predicate blames its author
+            raise ContractViolation(
+                blame.positive, self.name, value, f"predicate raised: {exc}"
+            ) from exc
+        if not ok:
+            raise ContractViolation(blame.positive, self.name, value)
+        return value
+
+
+class AndContract(Contract):
+    def __init__(self, parts: Sequence[Contract]):
+        self.parts = list(parts)
+        self.name = "(and/c " + " ".join(p.name for p in self.parts) + ")"
+
+    def wrap(self, value, blame: Blame):
+        for part in self.parts:
+            value = part.wrap(value, blame)
+        return value
+
+
+class OrContract(Contract):
+    """First-order disjunction: tries flat parts in order; a non-flat last
+    resort is applied if all flats reject."""
+
+    def __init__(self, parts: Sequence[Contract]):
+        self.parts = list(parts)
+        self.name = "(or/c " + " ".join(p.name for p in self.parts) + ")"
+
+    def wrap(self, value, blame: Blame):
+        last_exc: Optional[ContractViolation] = None
+        for part in self.parts:
+            try:
+                return part.wrap(value, blame)
+            except ContractViolation as exc:
+                last_exc = exc
+        assert last_exc is not None
+        raise ContractViolation(blame.positive, self.name, value) from last_exc
+
+
+class ListOfContract(Contract):
+    def __init__(self, element: Contract):
+        self.element = element
+        self.name = f"(listof {element.name})"
+
+    def wrap(self, value, blame: Blame):
+        if not isinstance(value, (list, tuple)):
+            raise ContractViolation(blame.positive, self.name, value)
+        return type(value)(self.element.wrap(v, blame) for v in value)
+
+
+class ArrowContract(Contract):
+    """``(-> dom ... rng)``: domains are checked with *swapped* blame (a bad
+    argument is the caller's fault), the range with the original blame."""
+
+    def __init__(self, domains: Sequence[Contract], range_: Contract):
+        self.domains = list(domains)
+        self.range = range_
+        doms = " ".join(d.name for d in self.domains)
+        self.name = f"(-> {doms} {range_.name})"
+
+    def wrap(self, value, blame: Blame):
+        if not callable(value):
+            raise ContractViolation(blame.positive, self.name, value)
+        domains, range_, name = self.domains, self.range, self.name
+
+        @functools.wraps(value, assigned=("__name__", "__qualname__", "__doc__"))
+        def proxy(*args):
+            if len(args) != len(domains):
+                raise ContractViolation(
+                    blame.negative, name, args,
+                    f"expected {len(domains)} arguments, got {len(args)}",
+                )
+            swapped = blame.swap()
+            checked = [d.wrap(a, swapped) for d, a in zip(domains, args)]
+            result = value(*checked)
+            return range_.wrap(result, blame)
+
+        proxy.__wrapped__ = value
+        return proxy
+
+
+class TerminatingContract(Contract):
+    """The termination contract: wraps a callable with the size-change
+    monitor; violations blame the positive party (§2.3)."""
+
+    name = "terminating/c"
+
+    def __init__(self, **policy):
+        self.policy = policy
+
+    def wrap(self, value, blame: Blame):
+        if not callable(value):
+            # [Wrap-Prim]-style: non-functions pass through unchanged.
+            return value
+        if getattr(value, "__sct_terminating__", False):
+            return value  # already monitored; keep the first label
+        return terminating(value, blame=blame.positive, **self.policy)
+
+
+# -- convenience constructors ---------------------------------------------------
+
+
+def flat(predicate: Callable[[object], bool], name: Optional[str] = None) -> FlatContract:
+    return FlatContract(predicate, name)
+
+
+any_c = FlatContract(lambda _v: True, "any/c")
+
+
+def and_c(*parts: Contract) -> AndContract:
+    return AndContract(parts)
+
+
+def or_c(*parts: Contract) -> OrContract:
+    return OrContract(parts)
+
+
+def listof(element: Contract) -> ListOfContract:
+    return ListOfContract(element)
+
+
+def arrow(domains: Iterable[Contract], range_: Contract) -> ArrowContract:
+    return ArrowContract(list(domains), range_)
+
+
+def terminating_c(**policy) -> TerminatingContract:
+    return TerminatingContract(**policy)
+
+
+def total(domains: Iterable[Contract], range_: Contract, **policy) -> AndContract:
+    """A total-correctness contract: ``(-> dom ... rng)`` ∧ terminating.
+
+    The termination monitor wraps the raw function; the arrow proxy wraps
+    the monitored function, so argument checks happen before the call is
+    recorded in the size-change table.
+    """
+    return AndContract([TerminatingContract(**policy), ArrowContract(list(domains), range_)])
+
+
+def attach(contract: Contract, positive: str, negative: str = "caller"):
+    """Decorator / applier: ``attach(ctc, "server")(value)``."""
+
+    blame = Blame(positive, negative)
+
+    def apply(value):
+        return contract.wrap(value, blame)
+
+    return apply

@@ -1,0 +1,45 @@
+"""The evaluation corpus: every program of the paper's Table 1, the
+diverging programs of §5.1.2, the Fig. 2 λ-calculus compiler, and the
+``scheme`` interpreter benchmark.
+
+Programs whose source is not printed in the paper are behaviourally
+faithful reconstructions from the cited origins (Lee–Jones–Ben-Amram 2001,
+Sereni–Jones 2005, Krauss 2007, Manolios–Vroon 2006, Liquid Haskell, the
+Gabriel suite); each carries a ``notes`` field saying so.
+"""
+
+from repro.corpus.registry import (
+    CONSERVATIVE,
+    EXTRAS,
+    REGISTRY,
+    CorpusProgram,
+    DIVERGING,
+    DivergingProgram,
+    all_programs,
+    conservative_programs,
+    diverging_programs,
+    extra_programs,
+    get_program,
+)
+
+# Importing the suites populates the registry.
+from repro.corpus import suites  # noqa: E402,F401
+from repro.corpus import diverging  # noqa: E402,F401
+from repro.corpus import interpreter  # noqa: E402,F401
+from repro.corpus import lambda_interp  # noqa: E402,F401
+from repro.corpus import extras  # noqa: E402,F401
+from repro.corpus import classics  # noqa: E402,F401
+
+__all__ = [
+    "REGISTRY",
+    "DIVERGING",
+    "EXTRAS",
+    "CONSERVATIVE",
+    "extra_programs",
+    "conservative_programs",
+    "CorpusProgram",
+    "DivergingProgram",
+    "all_programs",
+    "diverging_programs",
+    "get_program",
+]

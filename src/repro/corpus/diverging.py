@@ -1,0 +1,183 @@
+"""Diverging programs (§5.1.2): mostly single-bug mutations of correct
+corpus programs, plus the paper's famous ``nfa`` bug, verbatim.
+
+Every one of these must (a) time out under the standard semantics and
+(b) be stopped with ``errorSC`` by the monitor, early.
+"""
+
+from repro.corpus.registry import DivergingProgram, register_diverging
+
+register_diverging(DivergingProgram(
+    name="buggy-ack",
+    source="""
+(define (ack m n)
+  (cond [(= 0 m) (+ 1 n)]
+        [(= 0 n) (ack (- m 1) 1)]
+        [else (ack m (ack m (- n 1)))]))
+(ack 2 3)
+""",
+    notes="§2.1: the outer recursive call keeps m instead of m-1.",
+))
+
+register_diverging(DivergingProgram(
+    name="buggy-nfa",
+    source="""
+(define (state1 input)
+  (and (not (null? input))
+       (or (and (char=? (car input) #\\a) (state1 (cdr input)))
+           (and (char=? (car input) #\\c) (state1 input))
+           (state2 input))))
+(define (state2 input)
+  (and (not (null? input))
+       (char=? (car input) #\\b)
+       (state3 (cdr input))))
+(define (state3 input)
+  (and (not (null? input))
+       (char=? (car input) #\\c)
+       (state4 (cdr input))))
+(define (state4 input)
+  (and (not (null? input))
+       (char=? (car input) #\\d)
+       (null? (cdr input))))
+(state1 (string->list "cbcd"))
+""",
+    notes="§5.1.2 verbatim: the (a|c)* state recurs on `input` instead of "
+          "`(cdr input)` on the c branch.  The historical benchmark input "
+          "a…bc never reached the bug; any input with a 'c' before 'b' "
+          "diverges.",
+))
+
+register_diverging(DivergingProgram(
+    name="rev-no-descent",
+    source="""
+(define (rev l) (r1 l '()))
+(define (r1 l a)
+  (if (null? l) a (r1 l (cons (car l) a))))
+(rev '(1 2 3))
+""",
+    notes="sct-1 with the cdr dropped: l never shrinks while a grows.",
+))
+
+register_diverging(DivergingProgram(
+    name="count-up",
+    source="""
+(define (s n) (if (= n 0) 0 (s (+ n 1))))
+(s 1)
+""",
+    notes="Counting away from the base case.",
+))
+
+register_diverging(DivergingProgram(
+    name="mutual-loop",
+    source="""
+(define (ping x) (pong x))
+(define (pong x) (ping x))
+(ping 'ball)
+""",
+    notes="Mutual recursion with no descent anywhere.",
+))
+
+register_diverging(DivergingProgram(
+    name="omega",
+    source="((lambda (x) (x x)) (lambda (x) (x x)))",
+    notes="The untyped λ-calculus classic; caught because the recurring "
+          "closure is re-applied to the identical (incomparable) closure.",
+))
+
+register_diverging(DivergingProgram(
+    name="cps-loop",
+    source="""
+(define (go k) (go (lambda (n) (k n))))
+(go (lambda (x) x))
+""",
+    notes="CPS loop growing a closure chain: closures are incomparable, so "
+          "the graph between successive calls to go is empty — a violation.",
+))
+
+register_diverging(DivergingProgram(
+    name="grow-list",
+    source="""
+(define (f l) (f (cons 1 l)))
+(f '())
+""",
+    notes="Structural growth: no arc is ever recorded.",
+))
+
+register_diverging(DivergingProgram(
+    name="buggy-merge",
+    source="""
+(define (merge2 xs ys)
+  (cond [(null? xs) ys]
+        [(null? ys) xs]
+        [(< (car xs) (car ys)) (cons (car xs) (merge2 (cdr xs) ys))]
+        [else (cons (car ys) (merge2 xs ys))]))
+(merge2 '(1 3 5) '(2 4 6))
+""",
+    notes="lh-merge with (cdr ys) dropped in the else branch.",
+))
+
+register_diverging(DivergingProgram(
+    name="quicksort-pivot",
+    source="""
+(define (qs l)
+  (if (null? l) '()
+      (append (qs (filter (lambda (x) (< x (car l))) l))
+              (qs (filter (lambda (x) (>= x (car l))) l)))))
+(qs '(3 1 2))
+""",
+    notes="Quicksort keeping the pivot in the upper partition: the upper "
+          "partition of (3) at pivot 3 is (3) again.  A classic "
+          "real-world nontermination bug.",
+))
+
+register_diverging(DivergingProgram(
+    name="buggy-unify-walk",
+    source="""
+(define (var? t) (and (pair? t) (eq? (car t) 'v)))
+(define (walk t sub)
+  (if (var? t)
+      (let ([b (assoc (cdr t) sub)])
+        (if b (walk (cdr b) sub) t))
+      t))
+(walk '(v . x) '((x . (v . y)) (y . (v . x))))
+""",
+    notes="Unification without an occurs check: a cyclic substitution "
+          "(x ↦ y, y ↦ x) makes walk chase the chain forever.  The second "
+          "revisit of (v . x) carries an identical sub — caught at once.",
+))
+
+register_diverging(DivergingProgram(
+    name="buggy-sieve",
+    source="""
+(define (count-down n)
+  (if (< n 2) '() (cons n (count-down (- n 1)))))
+(define (remove-multiples p l)
+  (cond [(null? l) '()]
+        [(zero? (modulo (car l) p)) (remove-multiples p (cdr l))]
+        [else (cons (car l) (remove-multiples p l))]))
+(define (sieve l)
+  (if (null? l) '()
+      (cons (car l) (sieve (remove-multiples (car l) (cdr l))))))
+(sieve (reverse (count-down 10)))
+""",
+    notes="remove-multiples forgets (cdr l) on the keep branch: the first "
+          "non-multiple is reconsidered forever with an identical list — "
+          "the canonical copy-paste bug, stopped on its second call.",
+))
+
+register_diverging(DivergingProgram(
+    name="buggy-reach",
+    source="""
+(define graph '((a b) (b a)))
+(define (reach frontier visited)
+  (cond [(null? frontier) visited]
+        [(memq (car frontier) visited) (reach (cdr frontier) visited)]
+        [else (reach (append (cdr (assoc (car frontier) graph))
+                             (cdr frontier))
+                     visited)]))
+(length (reach '(a) '()))
+""",
+    notes="Worklist search that forgets to mark nodes visited: the a↔b "
+          "cycle regenerates the frontier forever.  Even the repaired "
+          "measure could not save this one — visited never grows.",
+))

@@ -1,0 +1,150 @@
+"""Extra benchmarks beyond the Table 1 rows.
+
+Two families:
+
+* ``register_extra`` — additional terminating Scheme benchmarks the
+  dynamic monitor accepts (breadth beyond the paper's table), and
+* ``register_conservative`` — *terminating* programs the size-change
+  property rejects: the paper's §1 "one, unavoidable, wrinkle".  These are
+  pinned as expected ``errorSC`` so the conservativeness stays documented
+  and visible.
+"""
+
+from repro.corpus.registry import (
+    CorpusProgram,
+    register_conservative,
+    register_extra,
+)
+
+register_extra(CorpusProgram(
+    name="tak",
+    source="""
+(define (tak x y z)
+  (if (not (< y x)) z
+      (tak (tak (- x 1) y z) (tak (- y 1) z x) (tak (- z 1) x y))))
+(tak 8 4 2)
+""",
+    expected="3",
+    paper=("", "", "", "", ""),
+    ours_static=False,
+    entry=("tak", ["nat", "nat", "nat"]),
+    notes="Gabriel tak: triply nested recursion on permuted arguments.  "
+          "Dynamically the observed call sequence maintains SCP; "
+          "statically the restart call's arguments are summarized results, "
+          "so no descent is provable.",
+    tags=("extra", "gabriel"),
+))
+
+register_extra(CorpusProgram(
+    name="tree-ops",
+    source="""
+(define (tree-insert t x)
+  (if (null? t)
+      (list x '() '())
+      (if (< x (car t))
+          (list (car t) (tree-insert (cadr t) x) (caddr t))
+          (list (car t) (cadr t) (tree-insert (caddr t) x)))))
+(define (tree-sum t)
+  (if (null? t) 0
+      (+ (car t) (+ (tree-sum (cadr t)) (tree-sum (caddr t))))))
+(define (build l t)
+  (if (null? l) t (build (cdr l) (tree-insert t (car l)))))
+(tree-sum (build '(5 2 8 1 9 3 7) '()))
+""",
+    expected="35",
+    paper=("", "", "", "", ""),
+    ours_static=True,
+    entry=("tree-sum", ["list"]),
+    notes="Binary search tree build + fold: branching structural descent.",
+    tags=("extra", "trees"),
+))
+
+register_extra(CorpusProgram(
+    name="run-length",
+    source="""
+(define (rle-encode l)
+  (if (null? l) '()
+      (rle-take (car l) 1 (cdr l))))
+(define (rle-take x n rest)
+  (cond [(null? rest) (list (cons n x))]
+        [(eqv? x (car rest)) (rle-take x (+ n 1) (cdr rest))]
+        [else (cons (cons n x) (rle-encode rest))]))
+(define (rle-decode pairs)
+  (if (null? pairs) '()
+      (rle-expand (car (car pairs)) (cdr (car pairs)) (cdr pairs))))
+(define (rle-expand n x rest)
+  (if (zero? n) (rle-decode rest) (cons x (rle-expand (- n 1) x rest))))
+(define input '(a a a b b c c c c d))
+(equal? (rle-decode (rle-encode input)) input)
+""",
+    expected="#t",
+    paper=("", "", "", "", ""),
+    ours_static=False,
+    entry=None,
+    notes="Run-length encode/decode round-trip: mutual recursion whose "
+          "descent alternates between a list and a counter.",
+    tags=("extra", "strings"),
+))
+
+register_extra(CorpusProgram(
+    name="word-count",
+    source="""
+(define (bump counts w)
+  (hash-set counts w (+ 1 (hash-ref counts w 0))))
+(define (count-words ws counts)
+  (if (null? ws) counts (count-words (cdr ws) (bump counts (car ws)))))
+(define counts (count-words '(the cat and the hat and the bat) (hash)))
+(list (hash-ref counts 'the) (hash-ref counts 'and) (hash-ref counts 'bat))
+""",
+    expected="(3 2 1)",
+    paper=("", "", "", "", ""),
+    ours_static=True,
+    entry=("count-words", ["list", "any"]),
+    notes="Fold into a persistent hash map: the accumulator grows while "
+          "the list descends.",
+    tags=("extra", "hash"),
+))
+
+register_conservative(CorpusProgram(
+    name="cpstak",
+    source="""
+(define (cpstak x y z k)
+  (if (not (< y x))
+      (k z)
+      (cpstak (- x 1) y z
+        (lambda (v1)
+          (cpstak (- y 1) z x
+            (lambda (v2)
+              (cpstak (- z 1) x y
+                (lambda (v3) (cpstak v1 v2 v3 k)))))))))
+(cpstak 8 4 2 (lambda (a) a))
+""",
+    expected="3",
+    paper=("", "", "", "", ""),
+    ours_static=False,
+    entry=None,
+    notes="Gabriel cpstak TERMINATES, but the continuation's restart call "
+          "(cpstak v1 v2 v3 k) re-enters with computed values that ascend "
+          "relative to the in-extent history, and — all calls being tail "
+          "calls — the extent never resets.  SCT is a conservative safety "
+          "property: this is a true positive of the *property*, a false "
+          "positive for *termination* (§1's unavoidable wrinkle).",
+    tags=("conservative", "gabriel", "cps"),
+))
+
+register_conservative(CorpusProgram(
+    name="cross-zero",
+    source="""
+(define (cross x) (if (<= x 0) 'done (cross (- x 2))))
+(cross 7)
+""",
+    expected="done",
+    paper=("", "", "", "", ""),
+    ours_static=False,
+    entry=None,
+    notes="Steps of 2 from an odd start cross zero: the final step 1 → -1 "
+          "is not a descent under |·| (equal magnitudes), so the "
+          "terminating run is flagged on its very last call.  The measure "
+          "max(x, 0) repairs it — see tests.",
+    tags=("conservative", "order"),
+))

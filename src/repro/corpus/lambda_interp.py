@@ -1,0 +1,45 @@
+"""The Fig. 2 checked λ-calculus implementation, transcribed.
+
+``comp-lc`` compiles a λ-term to a procedure over environments; the
+compilation is structurally recursive (easily monitored), while the
+*compiled result* is a tangle of closures whose termination depends on the
+term.  Dynamic monitoring lets ``c1`` run to completion and stops ``c2``.
+"""
+
+from repro.corpus.registry import DivergingProgram, register_diverging
+
+LAMBDA_INTERP_PRELUDE = """
+(define comp-lc
+  (terminating/c
+   (lambda (e)
+     (match e
+       [`(λ (,x) ,b)
+        (let ([c (comp-lc b)])
+          (lambda (r) (lambda (z) (c (hash-set r x z)))))]
+       [`(,e1 ,e2)
+        (let ([c1 (comp-lc e1)] [c2 (comp-lc e2)])
+          (lambda (r) ((c1 r) (c2 r))))]
+       [(? symbol? x) (lambda (r) (hash-ref r x))]))
+   "comp-lc"))
+"""
+
+# (c1 (hash)) terminates: ((λ (x) (x x)) (λ (y) y)) reduces to λy.y.
+FIG2_OK = LAMBDA_INTERP_PRELUDE + """
+(define c1
+  (terminating/c (comp-lc '((λ (x) (x x)) (λ (y) y))) "c1"))
+(procedure? (c1 (hash)))
+"""
+
+# (c2 (hash)) diverges: Ω.  The compiled closure for (y y) keeps applying
+# itself to an identical argument; the monitor stops it.
+FIG2_LOOPS = LAMBDA_INTERP_PRELUDE + """
+(define c2
+  (terminating/c (comp-lc '((λ (x) (x x)) (λ (y) (y y)))) "c2"))
+(c2 (hash))
+"""
+
+register_diverging(DivergingProgram(
+    name="fig2-omega",
+    source=FIG2_LOOPS,
+    notes="Fig. 2 verbatim: the compiled Ω term; blame lands on c2.",
+))

@@ -1,0 +1,549 @@
+"""Table 1 programs (all rows except ``scheme``, which lives in
+:mod:`repro.corpus.interpreter`).
+
+``paper`` tuples follow Table 1 column order:
+(Dyn., Static, Liquid Haskell, Isabelle, ACL2) with the paper's annotations
+(``A`` needs annotations, ``O`` custom order, ``R`` rewritten,
+``-T`` not typable, ``-H`` no higher-order functions).
+"""
+
+from repro.corpus.registry import CorpusProgram, register
+
+# -- size-change termination, first order (Lee–Jones–Ben-Amram 2001) -----------
+
+register(CorpusProgram(
+    name="sct-1",
+    source="""
+(define (rev l) (r1 l '()))
+(define (r1 l a)
+  (if (null? l) a (r1 (cdr l) (cons (car l) a))))
+(rev '(1 2 3 4 5))
+""",
+    expected="(5 4 3 2 1)",
+    paper=("Y", "Y", "Y-R", "Y", "Y"),
+    ours_static=True,
+    entry=("r1", ["list", "list"]),
+    notes="LJB Example 1: accumulating reverse; descent on l while a grows.",
+    tags=("sct", "first-order", "lists"),
+))
+
+register(CorpusProgram(
+    name="sct-2",
+    source="""
+(define (f2 i x)
+  (if (null? i) x (g2 (cdr i) x i)))
+(define (g2 a b c)
+  (f2 a (cons b c)))
+(f2 '(1 2 3) 0)
+""",
+    expected="(((0 1 2 3) 2 3) 3)",
+    paper=("Y", "Y", "N", "Y-R", "Y"),
+    ours_static=True,
+    entry=("f2", ["list", "any"]),
+    notes="LJB Example 2 (reconstructed): indirect recursion f→g→f with "
+          "descent through g's first parameter.",
+    tags=("sct", "first-order", "indirect"),
+))
+
+register(CorpusProgram(
+    name="sct-3",
+    source="""
+(define (ack m n)
+  (cond [(= 0 m) (+ 1 n)]
+        [(= 0 n) (ack (- m 1) 1)]
+        [else (ack (- m 1) (ack m (- n 1)))]))
+(ack 2 3)
+""",
+    expected="9",
+    paper=("Y", "Y", "Y-A", "Y", "Y"),
+    ours_static=True,
+    entry=("ack", ["nat", "nat"]),
+    result_kinds={"ack": "nat"},
+    notes="The paper's running example (§2.1, §4.2); the result kind is "
+          "ack's contract range, which the nested call needs (§4.2).",
+    tags=("sct", "first-order", "nested"),
+))
+
+register(CorpusProgram(
+    name="sct-4",
+    source="""
+(define (p4 m n r)
+  (cond [(> r 0) (p4 m (- r 1) n)]
+        [(> n 0) (p4 r (- n 1) m)]
+        [else m]))
+(p4 2 3 4)
+""",
+    expected="2",
+    paper=("Y", "Y", "N", "Y", "Y"),
+    ours_static=True,
+    entry=("p4", ["nat", "nat", "nat"]),
+    notes="LJB Example 4 (reconstructed): descent through permuted "
+          "parameters; no single parameter decreases on every call.",
+    tags=("sct", "first-order", "permuted"),
+))
+
+register(CorpusProgram(
+    name="sct-5",
+    source="""
+(define (f5 x y)
+  (cond [(null? y) x]
+        [(null? x) (f5 y (cdr y))]
+        [else (f5 (cdr x) y)]))
+(f5 '(1 2) '(3 4 5))
+""",
+    expected="(5)",
+    paper=("Y", "Y", "N", "Y", "Y"),
+    ours_static=True,
+    entry=("f5", ["list", "list"]),
+    notes="LJB Example 5 (reconstructed): parameter swapping with descent "
+          "on alternating arguments.",
+    tags=("sct", "first-order", "swap"),
+))
+
+register(CorpusProgram(
+    name="sct-6",
+    source="""
+(define (f6 a b)
+  (if (null? b) (g6 a '()) (f6 (cons (car b) a) (cdr b))))
+(define (g6 c d)
+  (if (null? c) d (g6 (cdr c) (cons (car c) d))))
+(f6 '(1 2) '(3 4))
+""",
+    expected="(2 1 3 4)",
+    paper=("Y", "Y", "N", "Y", "Y"),
+    ours_static=True,
+    entry=("f6", ["list", "list"]),
+    notes="LJB Example 6 (reconstructed): late-starting descent — the first "
+          "loop grows a while consuming b, then a second loop consumes.",
+    tags=("sct", "first-order", "phases"),
+))
+
+# -- higher order ---------------------------------------------------------------
+
+register(CorpusProgram(
+    name="ho-sc-ack",
+    source="""
+(define Y2
+  (lambda (f)
+    ((lambda (x) (f (lambda (a b) ((x x) a b))))
+     (lambda (x) (f (lambda (a b) ((x x) a b)))))))
+(define ack-y
+  (Y2 (lambda (ack)
+        (lambda (m n)
+          (cond [(= m 0) (+ n 1)]
+                [(= n 0) (ack (- m 1) 1)]
+                [else (ack (- m 1) (ack m (- n 1)))])))))
+(ack-y 2 2)
+""",
+    expected="7",
+    paper=("Y", "N", "-T", "-T", "-H"),
+    ours_static=False,
+    entry=("ack-y", ["nat", "nat"]),
+    result_kinds={"ack-y": "nat"},
+    notes="Ackermann through the Y combinator: self-application is "
+          "untypable in LH/Isabelle and defeats static closure reasoning; "
+          "dynamically every eta-wrapper closure descends on (m, n).",
+    tags=("higher-order", "y-combinator"),
+))
+
+register(CorpusProgram(
+    name="ho-sct-fg",
+    source="""
+(define (fg g x)
+  (if (zero? x) (g x) (fg (lambda (y) (g (+ x y))) (- x 1))))
+(fg (lambda (y) y) 6)
+""",
+    expected="21",
+    paper=("Y", "Y", "Y", "Y", "-H"),
+    ours_static=True,
+    entry=("fg", ["fun", "nat"]),
+    notes="Sereni–Jones-style closure accumulation (reconstructed): the "
+          "continuation argument grows while x descends.",
+    tags=("higher-order", "closures"),
+))
+
+register(CorpusProgram(
+    name="ho-sct-fold",
+    source="""
+(define (fold2 f z l)
+  (if (null? l) z (f (car l) (fold2 f z (cdr l)))))
+(fold2 (lambda (a b) (+ a b)) 0 '(1 2 3 4 5))
+""",
+    expected="15",
+    paper=("Y", "Y", "Y-A", "Y", "-H"),
+    ours_static=True,
+    entry=("fold2", ["fun", "any", "list"]),
+    notes="Right fold with an unknown function argument: descent on l; the "
+          "callback is opaque to the verifier.",
+    tags=("higher-order", "fold"),
+))
+
+# -- Isabelle (Krauss 2007) ------------------------------------------------------
+
+register(CorpusProgram(
+    name="isabelle-perm",
+    source="""
+(define (perm xs ys)
+  (cond [(null? xs) ys]
+        [(null? ys) xs]
+        [else (perm (cdr ys) (cdr xs))]))
+(perm '(1 2 3 4) '(5 6 7))
+""",
+    expected="(4)",
+    paper=("Y", "Y", "N", "Y", "Y"),
+    ours_static=True,
+    entry=("perm", ["list", "list"]),
+    notes="Krauss-style permuted descent (reconstructed): both arguments "
+          "swap and shrink; no lexicographic order on the raw parameters.",
+    tags=("isabelle", "swap"),
+))
+
+register(CorpusProgram(
+    name="isabelle-f",
+    source="""
+(define (f-half x)
+  (if (<= x 0) 0 (+ 1 (f-half (quotient x 2)))))
+(f-half 100)
+""",
+    expected="7",
+    paper=("Y", "N", "N", "Y", "Y"),
+    ours_static=False,
+    entry=("f-half", ["nat"]),
+    notes="Reconstructed: descent through integer division.  The run-time "
+          "monitor sees |x/2| < |x|; the symbolic verifier keeps quotient "
+          "uninterpreted (as the paper's tool effectively did) and fails.",
+    tags=("isabelle", "division"),
+))
+
+register(CorpusProgram(
+    name="isabelle-foo",
+    source="""
+(define (foo x y)
+  (if (zero? y) x (foo (* 2 x) (quotient y 3))))
+(foo 1 27)
+""",
+    expected="16",
+    paper=("Y", "N", "N", "Y", "Y"),
+    ours_static=False,
+    entry=("foo", ["nat", "nat"]),
+    notes="Reconstructed: x doubles while y shrinks by division — the only "
+          "descending argument moves through an uninterpreted operation.",
+    tags=("isabelle", "division"),
+))
+
+register(CorpusProgram(
+    name="isabelle-bar",
+    source="""
+(define (bar x y)
+  (cond [(zero? y) x]
+        [(even? y) (bar (* x x) (quotient y 2))]
+        [else (bar x (- y 1))]))
+(bar 2 10)
+""",
+    expected="256",
+    paper=("Y", "N", "N", "Y", "Y"),
+    ours_static=False,
+    entry=("bar", ["nat", "nat"]),
+    notes="Reconstructed fast-exponentiation skeleton: the even branch "
+          "descends only through quotient, so one call-graph edge carries "
+          "no provable arc and the static SCP check fails.",
+    tags=("isabelle", "division"),
+))
+
+register(CorpusProgram(
+    name="isabelle-poly",
+    source="""
+(define (poly x y)
+  (if (<= y 0) x
+      (poly (+ x 1) (quotient (* y y) (+ y 1)))))
+(poly 0 10)
+""",
+    expected="10",
+    paper=("Y", "N", "N", "N", "N"),
+    ours_static=False,
+    entry=("poly", ["nat", "nat"]),
+    notes="Reconstructed: y ↦ ⌊y²/(y+1)⌋ = y−1 dynamically, but the descent "
+          "is hidden behind non-linear arithmetic — every tool in Table 1 "
+          "fails it statically; only run-time monitoring sees the descent.",
+    tags=("isabelle", "nonlinear"),
+))
+
+# -- ACL2 (Manolios–Vroon 2006) ---------------------------------------------------
+
+register(CorpusProgram(
+    name="acl2-fig-2",
+    source="""
+(define (fig2 x)
+  (cond [(= x 3) 0]
+        [(< x 3) (fig2 (+ x 1))]
+        [else (fig2 (- x 1))]))
+(fig2 0)
+""",
+    expected="0",
+    paper=("Y-O", "N", "N", "N", "N"),
+    ours_static=False,
+    entry=("fig2", ["nat"]),
+    measures={"fig2": lambda args: (abs(args[0] - 3),)},
+    notes="Reconstructed: x converges to 3 from both sides.  The default "
+          "|·| order rejects the counting-up phase; the paper's 'custom "
+          "partial order' hook (our measure |x−3|) accepts it.",
+    tags=("acl2", "custom-order"),
+))
+
+register(CorpusProgram(
+    name="acl2-fig-6",
+    source="""
+(define (fig6-f x y)
+  (if (zero? x) y (fig6-g (- x 1) y)))
+(define (fig6-g u v)
+  (fig6-f u (+ v 1)))
+(fig6-f 5 0)
+""",
+    expected="5",
+    paper=("Y", "Y", "N", "N", "N"),
+    ours_static=True,
+    entry=("fig6-f", ["nat", "nat"]),
+    notes="Reconstructed calling-context-graph example: mutual recursion "
+          "where descent crosses the f→g→f cycle.",
+    tags=("acl2", "mutual"),
+))
+
+register(CorpusProgram(
+    name="acl2-fig-7",
+    source="""
+(define (fig7 n)
+  (if (<= n 1) n (fig7 (- n (+ 1 (remainder n 2))))))
+(fig7 17)
+""",
+    expected="1",
+    paper=("Y", "N", "N", "N", "Y"),
+    ours_static=False,
+    entry=("fig7", ["nat"]),
+    notes="Reconstructed: steps of 1 or 2 chosen by parity.  The step size "
+          "goes through remainder, which the symbolic engine keeps "
+          "uninterpreted, so no strict arc is provable.",
+    tags=("acl2", "parity"),
+))
+
+# -- Liquid Haskell -----------------------------------------------------------------
+
+register(CorpusProgram(
+    name="lh-gcd",
+    source="""
+(define (gcd2 a b)
+  (if (zero? b) a (gcd2 b (modulo a b))))
+(gcd2 48 18)
+""",
+    expected="6",
+    paper=("Y", "N", "Y", "Y", "Y"),
+    ours_static=False,
+    entry=("gcd2", ["nat", "nat"]),
+    notes="Euclid's algorithm: the monitor observes (mod a b) < b; the "
+          "verifier has no modulo theory (matching the paper's N verdict).",
+    tags=("lh", "modulo"),
+))
+
+register(CorpusProgram(
+    name="lh-map",
+    source="""
+(define (map1 f l)
+  (if (null? l) '() (cons (f (car l)) (map1 f (cdr l)))))
+(map1 (lambda (x) (* x x)) '(1 2 3 4))
+""",
+    expected="(1 4 9 16)",
+    paper=("Y", "Y", "Y", "Y", "-H"),
+    ours_static=True,
+    entry=("map1", ["fun", "list"]),
+    notes="Structural recursion with an opaque higher-order argument.",
+    tags=("lh", "higher-order"),
+))
+
+register(CorpusProgram(
+    name="lh-merge",
+    source="""
+(define (merge2 xs ys)
+  (cond [(null? xs) ys]
+        [(null? ys) xs]
+        [(< (car xs) (car ys)) (cons (car xs) (merge2 (cdr xs) ys))]
+        [else (cons (car ys) (merge2 xs (cdr ys)))]))
+(merge2 '(1 3 5) '(2 4 6))
+""",
+    expected="(1 2 3 4 5 6)",
+    paper=("Y", "Y", "Y-A", "Y", "Y"),
+    ours_static=True,
+    entry=("merge2", ["list", "list"]),
+    notes="Merge of sorted lists: the Ackermann graph pattern on two list "
+          "arguments (LH needs an explicit lexicographic annotation).",
+    tags=("lh", "lists"),
+))
+
+register(CorpusProgram(
+    name="lh-range",
+    source="""
+(define (range2 lo hi)
+  (if (>= lo hi) '() (cons lo (range2 (+ lo 1) hi))))
+(range2 0 8)
+""",
+    expected="(0 1 2 3 4 5 6 7)",
+    paper=("Y-O", "N", "Y-A", "N", "Y"),
+    ours_static=False,
+    entry=("range2", ["nat", "nat"]),
+    measures={"range2": lambda args: (args[1] - args[0],)},
+    notes="Counting up: needs the custom measure hi−lo (the paper's O "
+          "annotation) dynamically; statically no argument descends.",
+    tags=("lh", "custom-order"),
+))
+
+register(CorpusProgram(
+    name="lh-tfact",
+    source="""
+(define (tfact acc n)
+  (if (zero? n) acc (tfact (* acc n) (- n 1))))
+(tfact 1 10)
+""",
+    expected="3628800",
+    paper=("Y", "Y", "Y", "Y", "Y"),
+    ours_static=True,
+    entry=("tfact", ["nat", "nat"]),
+    notes="Tail-recursive factorial: n descends while the accumulator grows.",
+    tags=("lh", "accumulator"),
+))
+
+# -- Scheme benchmarks (Gabriel suite and the nfa program) ---------------------------
+
+register(CorpusProgram(
+    name="dderiv",
+    source="""
+(define (dderiv-sum a)
+  (list '+ (dderiv (cadr a)) (dderiv (caddr a))))
+(define (dderiv-prod a)
+  (list '+ (list '* (dderiv (cadr a)) (caddr a))
+           (list '* (cadr a) (dderiv (caddr a)))))
+(define (dderiv-diff a)
+  (list '- (dderiv (cadr a)) (dderiv (caddr a))))
+(define dderiv-table
+  (hash '+ dderiv-sum '* dderiv-prod '- dderiv-diff))
+(define (dderiv a)
+  (if (not (pair? a))
+      (if (eq? a 'x) 1 0)
+      ((hash-ref dderiv-table (car a)) a)))
+(dderiv '(+ (* x x) (- x 3)))
+""",
+    expected="(+ (+ (* 1 x) (* x 1)) (- 1 0))",
+    paper=("Y", "Y", "", "", ""),
+    ours_static=True,
+    entry=("dderiv", ["any"]),
+    notes="Gabriel dderiv (adapted): table-driven differentiation — the "
+          "verifier case-splits the hash lookup over the concrete table.",
+    tags=("gabriel", "dispatch"),
+))
+
+register(CorpusProgram(
+    name="deriv",
+    source="""
+(define (deriv a)
+  (cond [(not (pair? a)) (if (eq? a 'x) 1 0)]
+        [(eq? (car a) '+) (cons '+ (map deriv (cdr a)))]
+        [(eq? (car a) '-) (cons '- (map deriv (cdr a)))]
+        [(eq? (car a) '*)
+         (list '* a (cons '+ (map (lambda (t) (list '/ (deriv t) t)) (cdr a))))]
+        [else (error "deriv: no method")]))
+(deriv '(+ (* 3 x x) (* a x x) (* b x) 5))
+""",
+    expected="(+ (* (* 3 x x) (+ (/ 0 3) (/ 1 x) (/ 1 x))) (* (* a x x) (+ (/ 0 a) (/ 1 x) (/ 1 x))) (* (* b x) (+ (/ 0 b) (/ 1 x))) 0)",
+    paper=("Y", "N", "", "", ""),
+    ours_static=True,
+    entry=("deriv", ["any"]),
+    notes="Gabriel deriv: n-ary differentiation through map and an escaping "
+          "λ.  The paper's tool fails it; ours resolves the concrete "
+          "closures through map (recorded as a deviation if it verifies).",
+    tags=("gabriel", "higher-order"),
+))
+
+register(CorpusProgram(
+    name="destruct",
+    source="""
+(define (destruct l)
+  (define cur (box l))
+  (define (spin fuel)
+    (if (null? (unbox cur))
+        '()
+        (begin
+          (set-box! cur (cdr (unbox cur)))
+          (cons fuel (spin (- fuel 1))))))
+  (spin (length l)))
+(destruct '(a b c d e))
+""",
+    expected="(5 4 3 2 1)",
+    paper=("Y", "N", "", "", ""),
+    ours_static=False,
+    entry=("destruct", ["list"]),
+    notes="Gabriel destruct (adapted to immutable pairs, like the Racket "
+          "artifact must): progress lives in a mutated box, so the "
+          "verifier cannot relate fuel to the list and fails.",
+    tags=("gabriel", "state"),
+))
+
+register(CorpusProgram(
+    name="div",
+    source="""
+(define (create-n n)
+  (if (zero? n) '() (cons '() (create-n (- n 1)))))
+(define (recursive-div2 l)
+  (if (null? l) '() (cons (car l) (recursive-div2 (cddr l)))))
+(define (iterative-div2 l)
+  (let loop ([l l] [a '()])
+    (if (null? l) a (loop (cddr l) (cons (car l) a)))))
+(+ (length (recursive-div2 (create-n 20)))
+   (length (iterative-div2 (create-n 30))))
+""",
+    expected="25",
+    paper=("Y", "Y", "", "", ""),
+    ours_static=True,
+    entry=("recursive-div2", ["list"]),
+    notes="Gabriel div: halving by cddr; both the recursive and the "
+          "iterative (named-let) variants.",
+    tags=("gabriel", "lists"),
+))
+
+register(CorpusProgram(
+    name="nfa",
+    source="""
+(define (state1 input)
+  (and (not (null? input))
+       (or (and (char=? (car input) #\\a) (state1 (cdr input)))
+           (and (char=? (car input) #\\c) (state1 (cdr input)))
+           (state2 input))))
+(define (state2 input)
+  (and (not (null? input))
+       (char=? (car input) #\\b)
+       (state3 (cdr input))))
+(define (state3 input)
+  (and (not (null? input))
+       (char=? (car input) #\\c)
+       (state4 (cdr input))))
+(define (state4 input)
+  (and (not (null? input))
+       (char=? (car input) #\\d)
+       (null? (cdr input))))
+(define (state5 input)
+  (and (not (null? input))
+       (or (and (char=? (car input) #\\a) (state5 (cdr input)))
+           (and (char=? (car input) #\\b) (state6 (cdr input))))))
+(define (state6 input)
+  (and (not (null? input))
+       (char=? (car input) #\\c)
+       (null? (cdr input))))
+(define (recognize s)
+  (let ([l (string->list s)])
+    (or (state1 l) (state5 l))))
+(recognize "aaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaabc")
+""",
+    expected="#t",
+    paper=("Y", "Y", "", "", ""),
+    ours_static=True,
+    entry=("state1", ["list"]),
+    notes="The §5.1.2 NFA for ((a|c)*bcd)|(a*bc) with the decades-old bug "
+          "FIXED (the buggy original is in the diverging corpus).",
+    tags=("gabriel", "nfa"),
+))

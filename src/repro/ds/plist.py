@@ -1,0 +1,75 @@
+"""A minimal persistent (singly linked) list.
+
+Used for path conditions and other analysis-side accumulators where
+structure sharing between branches matters.  The object language has its own
+pair type (:mod:`repro.values`); this one is host-side only.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterator, Optional
+
+
+class PList:
+    """Immutable cons cell.  ``pnil`` is the shared empty list."""
+
+    __slots__ = ("head", "tail", "_length")
+
+    def __init__(self, head: Any, tail: Optional["PList"]):
+        self.head = head
+        self.tail = tail
+        self._length = 1 + (tail._length if tail is not None else 0)
+
+    def cons(self, value: Any) -> "PList":
+        return PList(value, self)
+
+    def __iter__(self) -> Iterator[Any]:
+        node: Optional[PList] = self
+        while node is not None:
+            yield node.head
+            node = node.tail
+
+    def __len__(self) -> int:
+        return self._length
+
+    def __contains__(self, value: Any) -> bool:
+        return any(v == value for v in self)
+
+    def __repr__(self) -> str:
+        return "PList[" + ", ".join(repr(v) for v in self) + "]"
+
+
+class _Nil:
+    """Empty persistent list; iterable, falsy, shared singleton."""
+
+    __slots__ = ()
+    _length = 0
+
+    def cons(self, value: Any) -> PList:
+        return PList(value, None)
+
+    def __iter__(self) -> Iterator[Any]:
+        return iter(())
+
+    def __len__(self) -> int:
+        return 0
+
+    def __contains__(self, value: Any) -> bool:
+        return False
+
+    def __bool__(self) -> bool:
+        return False
+
+    def __repr__(self) -> str:
+        return "PList[]"
+
+
+pnil = _Nil()
+
+
+def plist(*values: Any):
+    """Build a persistent list from ``values`` (first value is the head)."""
+    acc: Any = pnil
+    for v in reversed(values):
+        acc = acc.cons(v)
+    return acc

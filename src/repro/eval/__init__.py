@@ -1,0 +1,27 @@
+"""Evaluators for the embedded language.
+
+:mod:`repro.eval.machine` is a CEK-style machine with proper tail calls.
+It implements three modes:
+
+* ``off`` — the standard semantics ``⇓`` (contracts are inert),
+* ``contract`` — λCSCT (Fig. 7/13): monitoring starts in the dynamic extent
+  of calls to ``term/c``-wrapped closures,
+* ``full`` — λSCT (Fig. 3): every closure application is monitored.
+
+and two table strategies (§5): ``cm`` (continuation-mark style — table
+snapshots live in continuation frames, tail calls preserved) and
+``imperative`` (mutable table with undo frames — faster in tight loops but
+grows the continuation on tail calls).
+"""
+
+from repro.eval.errors import MachineTimeout, SchemeError
+from repro.eval.machine import Answer, eval_expr, run_program, run_source
+
+__all__ = [
+    "MachineTimeout",
+    "SchemeError",
+    "Answer",
+    "eval_expr",
+    "run_program",
+    "run_source",
+]

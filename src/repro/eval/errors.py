@@ -1,0 +1,5 @@
+"""Re-exports of the run-time error types (see :mod:`repro.errors`)."""
+
+from repro.errors import MachineTimeout, SchemeError
+
+__all__ = ["MachineTimeout", "SchemeError"]

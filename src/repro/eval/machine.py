@@ -1,0 +1,471 @@
+"""The CEK machine: standard, contract-monitored (λCSCT) and fully
+monitored (λSCT) evaluation with proper tail calls.
+
+The machine is a single explicit-stack loop.  Continuation frames are plain
+tuples whose *last two slots* snapshot the monitoring state current when the
+frame was pushed; popping a frame restores them.  Because closure entry is
+the only point where monitoring state changes, this is exactly
+continuation-mark dynamic scoping:
+
+* entering a closure body *updates* the current table (``upd``, Fig. 4),
+* a non-tail caller's pending frame holds the outer table, so returning
+  restores the caller's dynamic extent,
+* a tail call pushes no frame, so the table keeps extending — proper tail
+  calls are preserved (the ``cm`` strategy).
+
+The ``imperative`` strategy instead mutates one shared dictionary and pushes
+an undo frame on *every* monitored call — cheaper per call, but the undo
+frames grow the continuation on tail-recursive loops, reproducing the
+broken-TCO trade-off the paper measures in Fig. 10.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from repro.ds.hamt import Hamt
+from repro.eval.errors import MachineTimeout, SchemeError
+from repro.lang import ast
+from repro.lang.parser import parse_program
+from repro.lang.prims import PRELUDE_SOURCE, PRIMITIVES
+from repro.lang.program import Program, TopDefine
+from repro.sct.errors import SizeChangeViolation
+from repro.sct.monitor import SCMonitor
+from repro.sexp.datum import intern
+from repro.values.env import Env, GlobalEnv, UnboundVariable
+from repro.values.values import (
+    NIL,
+    VOID,
+    Closure,
+    Prim,
+    TermWrapped,
+    write_value,
+)
+
+# Frame tags.
+F_IF = 0
+F_APPFN = 1
+F_APPARG = 2
+F_BEGIN = 3
+F_LET = 4
+F_LETREC = 5
+F_SET = 6
+F_TERMC = 7
+F_RESTORE = 8
+
+_UNDEF = object()
+
+ROOT_BLAME = "the program"
+
+_K = ast  # short alias for kind constants
+
+
+class Answer:
+    """The observable outcome of a run: a value, ``errorRT``, ``errorSC``,
+    or a fuel timeout (only possible without monitoring)."""
+
+    __slots__ = ("kind", "value", "error", "violation", "output", "steps")
+
+    VALUE = "value"
+    RT_ERROR = "rt-error"
+    SC_ERROR = "sc-error"
+    TIMEOUT = "timeout"
+
+    def __init__(self, kind, value=None, error=None, violation=None,
+                 output: str = "", steps: int = 0):
+        self.kind = kind
+        self.value = value
+        self.error = error
+        self.violation = violation
+        self.output = output
+        self.steps = steps
+
+    def is_value(self) -> bool:
+        return self.kind == Answer.VALUE
+
+    def __repr__(self) -> str:
+        if self.kind == Answer.VALUE:
+            return f"Answer(value={write_value(self.value)})"
+        if self.kind == Answer.SC_ERROR:
+            return "Answer(errorSC)"
+        if self.kind == Answer.TIMEOUT:
+            return "Answer(timeout)"
+        return f"Answer(errorRT: {self.error})"
+
+
+class _Fuel:
+    """A shared step budget across all top-level forms of one run."""
+
+    __slots__ = ("left", "limit")
+
+    def __init__(self, limit: Optional[int]):
+        self.limit = limit
+        self.left = limit if limit is not None else -1
+
+
+def eval_expr(
+    expr: ast.Node,
+    env,
+    *,
+    mode: str = "off",
+    strategy: str = "cm",
+    monitor: Optional[SCMonitor] = None,
+    fuel: Optional[_Fuel] = None,
+    mtable: Optional[dict] = None,
+):
+    """Evaluate one expression to a value (raises on errors/violations)."""
+    if monitor is None:
+        monitor = SCMonitor()
+    if fuel is None:
+        fuel = _Fuel(None)
+    imperative = strategy == "imperative"
+    if strategy not in ("cm", "imperative"):
+        raise ValueError(f"unknown strategy: {strategy!r}")
+    if mode not in ("off", "contract", "full"):
+        raise ValueError(f"unknown mode: {mode!r}")
+
+    # Monitoring state.  cm: s1 = persistent table (None = off).
+    # imperative: s1 = active flag, entries live in the shared dict `mtable`.
+    if mode == "full":
+        s1 = True if imperative else Hamt.empty()
+        s2 = ROOT_BLAME
+    else:
+        s1 = False if imperative else None
+        s2 = None
+    if imperative and mtable is None:
+        mtable = {}
+
+    kont: List[tuple] = []
+    control = expr
+    cenv = env
+    val = None
+    returning = False
+    steps_left = fuel.left
+    monitored_modes = mode != "off"
+
+    while True:
+        if steps_left >= 0:
+            steps_left -= 1
+            if steps_left < 0:
+                fuel.left = 0
+                raise MachineTimeout(fuel.limit or 0)
+
+        if not returning:
+            k = control.kind
+            if k == 1:  # K_VAR
+                try:
+                    val = cenv.lookup(control.name)
+                except UnboundVariable as exc:
+                    raise SchemeError(str(exc), control.loc) from None
+                if val is _UNDEF:
+                    raise SchemeError(
+                        f"{control.name.name}: used before initialization",
+                        control.loc,
+                    )
+                returning = True
+            elif k == 0:  # K_LIT
+                val = control.value
+                returning = True
+            elif k == 3:  # K_APP
+                kont.append((F_APPFN, control.args, cenv, control.loc, s1, s2))
+                control = control.fn
+            elif k == 4:  # K_IF
+                kont.append((F_IF, control.then, control.els, cenv, s1, s2))
+                control = control.test
+            elif k == 2:  # K_LAM
+                val = Closure(control, cenv)
+                returning = True
+            elif k == 6:  # K_LET
+                if not control.rhss:
+                    cenv = Env({}, cenv)
+                    control = control.body
+                else:
+                    kont.append((F_LET, control, 0, [], cenv, s1, s2))
+                    control = control.rhss[0]
+            elif k == 7:  # K_LETREC
+                new_env = Env({n: _UNDEF for n in control.names}, cenv)
+                if not control.rhss:
+                    cenv = new_env
+                    control = control.body
+                else:
+                    kont.append((F_LETREC, control, 0, new_env, s1, s2))
+                    control = control.rhss[0]
+                    cenv = new_env
+            elif k == 5:  # K_BEGIN
+                body = control.body
+                if len(body) > 1:
+                    kont.append((F_BEGIN, body, 1, cenv, s1, s2))
+                control = body[0]
+            elif k == 8:  # K_SET
+                kont.append((F_SET, control.name, cenv, s1, s2))
+                control = control.expr
+            elif k == 9:  # K_TERMC
+                kont.append((F_TERMC, control.blame, s1, s2))
+                control = control.expr
+            else:  # pragma: no cover - parser emits only the kinds above
+                raise SchemeError(f"unknown AST node kind {k}")
+            continue
+
+        # Returning `val` to the continuation.
+        if not kont:
+            fuel.left = steps_left
+            return val
+        frame = kont.pop()
+        tag = frame[0]
+        s1 = frame[-2]
+        s2 = frame[-1]
+
+        if tag == F_APPFN:
+            _, arg_exprs, fenv, loc, _, _ = frame
+            if not arg_exprs:
+                fn = val
+                vals: List = []
+            else:
+                kont.append((F_APPARG, val, [], arg_exprs, 1, fenv, loc, s1, s2))
+                control = arg_exprs[0]
+                cenv = fenv
+                returning = False
+                continue
+        elif tag == F_APPARG:
+            _, fn, vals, arg_exprs, idx, fenv, loc, _, _ = frame
+            vals.append(val)
+            if idx < len(arg_exprs):
+                kont.append((F_APPARG, fn, vals, arg_exprs, idx + 1, fenv, loc, s1, s2))
+                control = arg_exprs[idx]
+                cenv = fenv
+                returning = False
+                continue
+        elif tag == F_IF:
+            control = frame[1] if val is not False else frame[2]
+            cenv = frame[3]
+            returning = False
+            continue
+        elif tag == F_BEGIN:
+            _, body, idx, benv, _, _ = frame
+            if idx < len(body) - 1:
+                kont.append((F_BEGIN, body, idx + 1, benv, s1, s2))
+            control = body[idx]
+            cenv = benv
+            returning = False
+            continue
+        elif tag == F_LET:
+            _, node, idx, vals, lenv, _, _ = frame
+            vals.append(val)
+            idx += 1
+            if idx < len(node.rhss):
+                kont.append((F_LET, node, idx, vals, lenv, s1, s2))
+                control = node.rhss[idx]
+                cenv = lenv
+            else:
+                cenv = Env(dict(zip(node.names, vals)), lenv)
+                control = node.body
+            returning = False
+            continue
+        elif tag == F_LETREC:
+            _, node, idx, new_env, _, _ = frame
+            new_env.bindings[node.names[idx]] = val
+            if type(val) is Closure and val.name is None:
+                val.name = node.names[idx].name
+            idx += 1
+            if idx < len(node.rhss):
+                kont.append((F_LETREC, node, idx, new_env, s1, s2))
+                control = node.rhss[idx]
+            else:
+                control = node.body
+            cenv = new_env
+            returning = False
+            continue
+        elif tag == F_SET:
+            try:
+                frame[2].set(frame[1], val)
+            except UnboundVariable as exc:
+                raise SchemeError(str(exc)) from None
+            val = VOID
+            continue
+        elif tag == F_TERMC:
+            blame_label = frame[1]
+            if type(val) is Closure:
+                val = TermWrapped(val, blame_label)
+            # term/c on primitives and other values is the identity
+            # ([Wrap-Prim]); already-wrapped closures keep their first label.
+            continue
+        elif tag == F_RESTORE:
+            monitor.restore_mut(mtable, frame[1], frame[2])
+            continue
+        else:  # pragma: no cover
+            raise SchemeError(f"unknown frame tag {tag}")
+
+        # -- application ------------------------------------------------------
+        loc = frame[3] if tag == F_APPFN else frame[6]
+        while True:
+            tf = type(fn)
+            if tf is Closure:
+                params = fn.lam.params
+                if len(vals) != len(params):
+                    raise SchemeError(
+                        f"{fn.describe()}: expected {len(params)} arguments, "
+                        f"got {len(vals)}",
+                        loc,
+                    )
+                if imperative:
+                    if s1 and monitor.should_monitor(fn):
+                        key, prev = monitor.upd_mut(mtable, fn, tuple(vals), s2)
+                        kont.append((F_RESTORE, key, prev, s1, s2))
+                else:
+                    if s1 is not None and monitor.should_monitor(fn):
+                        s1 = monitor.upd(s1, fn, tuple(vals), s2)
+                cenv = Env(dict(zip(params, vals)), fn.env)
+                control = fn.lam.body
+                returning = False
+                break
+            if tf is Prim:
+                if not fn.accepts(len(vals)):
+                    raise SchemeError(
+                        f"{fn.name}: arity mismatch with {len(vals)} arguments",
+                        loc,
+                    )
+                val = fn.fn(vals)
+                returning = True
+                break
+            if tf is TermWrapped:
+                if monitored_modes:
+                    s2 = fn.blame
+                    if imperative:
+                        s1 = True
+                    elif s1 is None:
+                        s1 = Hamt.empty()
+                fn = fn.closure
+                continue
+            raise SchemeError(
+                f"application of a non-procedure: {write_value(fn)}", loc
+            )
+
+
+# -- whole programs ------------------------------------------------------------
+
+_PRELUDE_PROGRAM: Optional[Program] = None
+_CONTRACTS_PROGRAM: Optional[Program] = None
+
+
+def _prelude_program() -> Program:
+    global _PRELUDE_PROGRAM
+    if _PRELUDE_PROGRAM is None:
+        _PRELUDE_PROGRAM = parse_program(PRELUDE_SOURCE, source="<prelude>")
+    return _PRELUDE_PROGRAM
+
+
+def _contracts_program() -> Program:
+    global _CONTRACTS_PROGRAM
+    if _CONTRACTS_PROGRAM is None:
+        from repro.lang.contracts_lib import CONTRACTS_SOURCE
+
+        _CONTRACTS_PROGRAM = parse_program(CONTRACTS_SOURCE,
+                                           source="<contracts>")
+    return _CONTRACTS_PROGRAM
+
+
+def make_env(include_prelude: bool = True) -> GlobalEnv:
+    """A fresh global environment with primitives, the prelude, and the
+    contract library (:mod:`repro.lang.contracts_lib`)."""
+    env = GlobalEnv(dict(PRIMITIVES))
+    if include_prelude:
+        fuel = _Fuel(None)
+        for library in (_prelude_program(), _contracts_program()):
+            for form in library.forms:
+                assert isinstance(form, TopDefine)
+                value = eval_expr(form.expr, env, fuel=fuel)
+                if type(value) is Closure and value.name is None:
+                    value.name = form.name.name
+                env.define(form.name, value)
+    return env
+
+
+def run_program(
+    program: Program,
+    *,
+    mode: str = "off",
+    strategy: str = "cm",
+    monitor: Optional[SCMonitor] = None,
+    max_steps: Optional[int] = None,
+    env: Optional[GlobalEnv] = None,
+    include_prelude: bool = True,
+) -> Answer:
+    """Run a whole program; the answer holds the last expression's value.
+
+    ``mode``: ``'off'`` (standard ⇓), ``'contract'`` (λCSCT), ``'full'``
+    (λSCT).  ``strategy``: ``'cm'`` or ``'imperative'``.
+    """
+    if env is None:
+        env = make_env(include_prelude)
+    else:
+        env = env.snapshot()
+    if monitor is None:
+        monitor = SCMonitor()
+    output: List[str] = []
+    env.define(intern("display"),
+               Prim("display", lambda a: _display(a, output), 1, 1))
+    env.define(intern("write"),
+               Prim("write", lambda a: _write(a, output), 1, 1))
+    env.define(intern("newline"),
+               Prim("newline", lambda a: _newline(output), 0, 0))
+
+    fuel = _Fuel(max_steps)
+    mtable: dict = {}
+    last = VOID
+    steps_used = 0
+    try:
+        for form in program.forms:
+            value = eval_expr(
+                form.expr, env, mode=mode, strategy=strategy,
+                monitor=monitor, fuel=fuel, mtable=mtable,
+            )
+            if isinstance(form, TopDefine):
+                if type(value) is Closure and value.name is None:
+                    value.name = form.name.name
+                env.define(form.name, value)
+            else:
+                last = value
+    except SchemeError as exc:
+        return Answer(Answer.RT_ERROR, error=exc, output="".join(output))
+    except SizeChangeViolation as exc:
+        return Answer(Answer.SC_ERROR, violation=exc, output="".join(output))
+    except MachineTimeout:
+        return Answer(Answer.TIMEOUT, output="".join(output))
+    if max_steps is not None:
+        steps_used = max_steps - max(fuel.left, 0)
+    return Answer(Answer.VALUE, value=last, output="".join(output), steps=steps_used)
+
+
+def run_source(
+    text: str,
+    *,
+    mode: str = "off",
+    strategy: str = "cm",
+    monitor: Optional[SCMonitor] = None,
+    max_steps: Optional[int] = None,
+    env: Optional[GlobalEnv] = None,
+    include_prelude: bool = True,
+    source: str = "<program>",
+) -> Answer:
+    """Parse and run program text."""
+    program = parse_program(text, source=source)
+    return run_program(
+        program, mode=mode, strategy=strategy, monitor=monitor,
+        max_steps=max_steps, env=env, include_prelude=include_prelude,
+    )
+
+
+def _display(args, out: List[str]):
+    v = args[0]
+    out.append(v if type(v) is str else write_value(v))
+    return VOID
+
+
+def _write(args, out: List[str]):
+    out.append(write_value(args[0]))
+    return VOID
+
+
+def _newline(out: List[str]):
+    out.append("\n")
+    return VOID

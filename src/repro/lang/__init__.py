@@ -1,0 +1,35 @@
+"""The embedded language: core AST, surface-to-core compiler, primitives."""
+
+from repro.lang.ast import (
+    App,
+    Begin,
+    If,
+    Lam,
+    Let,
+    LetRec,
+    Lit,
+    SetBang,
+    TermC,
+    Var,
+)
+from repro.lang.parser import ParseError, parse_expr, parse_program
+from repro.lang.program import Program, TopDefine, TopExpr
+
+__all__ = [
+    "App",
+    "Begin",
+    "If",
+    "Lam",
+    "Let",
+    "LetRec",
+    "Lit",
+    "SetBang",
+    "TermC",
+    "Var",
+    "ParseError",
+    "parse_expr",
+    "parse_program",
+    "Program",
+    "TopDefine",
+    "TopExpr",
+]

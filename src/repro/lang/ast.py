@@ -1,0 +1,224 @@
+"""Core AST of the embedded language.
+
+The surface language (``cond``, ``match``, ``quasiquote``, named ``let``,
+internal ``define`` ...) desugars to these ten node kinds.  Each node kind
+carries an integer ``kind`` tag so the CEK machine can dispatch with integer
+comparisons instead of ``isinstance`` chains.
+
+``Lam`` nodes carry a process-unique ``label`` identifying the syntactic λ
+form.  Labels are what the control-flow analysis, the loop-entry optimizer
+and the structural-hash table keying mode talk about.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Optional, Tuple
+
+from repro.sexp.datum import Symbol
+from repro.sexp.reader import SrcLoc
+
+K_LIT = 0
+K_VAR = 1
+K_LAM = 2
+K_APP = 3
+K_IF = 4
+K_BEGIN = 5
+K_LET = 6
+K_LETREC = 7
+K_SET = 8
+K_TERMC = 9
+
+_label_counter = itertools.count()
+
+
+class Node:
+    """Base class; exists only for isinstance checks in tooling."""
+
+    __slots__ = ("loc",)
+    kind: int = -1
+
+
+class Lit(Node):
+    """A self-evaluating constant (number, boolean, string, char, quoted
+    datum already converted to a runtime value)."""
+
+    __slots__ = ("value",)
+    kind = K_LIT
+
+    def __init__(self, value, loc: Optional[SrcLoc] = None):
+        self.value = value
+        self.loc = loc
+
+    def __repr__(self) -> str:
+        return f"Lit({self.value!r})"
+
+
+class Var(Node):
+    __slots__ = ("name",)
+    kind = K_VAR
+
+    def __init__(self, name: Symbol, loc: Optional[SrcLoc] = None):
+        self.name = name
+        self.loc = loc
+
+    def __repr__(self) -> str:
+        return f"Var({self.name})"
+
+
+class Lam(Node):
+    __slots__ = ("params", "body", "name", "label")
+    kind = K_LAM
+
+    def __init__(
+        self,
+        params: Tuple[Symbol, ...],
+        body: Node,
+        name: Optional[str] = None,
+        loc: Optional[SrcLoc] = None,
+    ):
+        self.params = params
+        self.body = body
+        self.name = name
+        self.loc = loc
+        self.label = next(_label_counter)
+
+    def __repr__(self) -> str:
+        shown = self.name or f"λ{self.label}"
+        return f"Lam({shown}, {list(self.params)})"
+
+
+class App(Node):
+    __slots__ = ("fn", "args")
+    kind = K_APP
+
+    def __init__(self, fn: Node, args: Tuple[Node, ...], loc: Optional[SrcLoc] = None):
+        self.fn = fn
+        self.args = args
+        self.loc = loc
+
+    def __repr__(self) -> str:
+        return f"App({self.fn!r}, {list(self.args)})"
+
+
+class If(Node):
+    __slots__ = ("test", "then", "els")
+    kind = K_IF
+
+    def __init__(self, test: Node, then: Node, els: Node, loc=None):
+        self.test = test
+        self.then = then
+        self.els = els
+        self.loc = loc
+
+    def __repr__(self) -> str:
+        return f"If({self.test!r}, {self.then!r}, {self.els!r})"
+
+
+class Begin(Node):
+    __slots__ = ("body",)
+    kind = K_BEGIN
+
+    def __init__(self, body: Tuple[Node, ...], loc=None):
+        self.body = body
+        self.loc = loc
+
+    def __repr__(self) -> str:
+        return f"Begin({list(self.body)})"
+
+
+class Let(Node):
+    """Parallel ``let``: all right-hand sides evaluate in the outer
+    environment, then bind simultaneously.  Kept as a core node (rather than
+    desugaring to an immediate λ application) so that binding forms do not
+    show up as monitored calls — the same effect the paper's loop-entry
+    optimization achieves."""
+
+    __slots__ = ("names", "rhss", "body")
+    kind = K_LET
+
+    def __init__(
+        self,
+        names: Tuple[Symbol, ...],
+        rhss: Tuple[Node, ...],
+        body: Node,
+        loc=None,
+    ):
+        self.names = names
+        self.rhss = rhss
+        self.body = body
+        self.loc = loc
+
+    def __repr__(self) -> str:
+        return f"Let({list(self.names)}, ...)"
+
+
+class LetRec(Node):
+    """``letrec*``: binds placeholders, then evaluates each right-hand side
+    in order, back-patching the rib.  Right-hand sides are usually λs."""
+
+    __slots__ = ("names", "rhss", "body")
+    kind = K_LETREC
+
+    def __init__(self, names, rhss, body, loc=None):
+        self.names = tuple(names)
+        self.rhss = tuple(rhss)
+        self.body = body
+        self.loc = loc
+
+    def __repr__(self) -> str:
+        return f"LetRec({list(self.names)}, ...)"
+
+
+class SetBang(Node):
+    __slots__ = ("name", "expr")
+    kind = K_SET
+
+    def __init__(self, name: Symbol, expr: Node, loc=None):
+        self.name = name
+        self.expr = expr
+        self.loc = loc
+
+    def __repr__(self) -> str:
+        return f"SetBang({self.name}, {self.expr!r})"
+
+
+class TermC(Node):
+    """``(terminating/c e)`` / ``(term/c e)``: wrap the closure value of
+    ``e`` in a termination contract carrying blame label ``blame``."""
+
+    __slots__ = ("expr", "blame")
+    kind = K_TERMC
+
+    def __init__(self, expr: Node, blame: str, loc=None):
+        self.expr = expr
+        self.blame = blame
+        self.loc = loc
+
+    def __repr__(self) -> str:
+        return f"TermC({self.expr!r}, blame={self.blame!r})"
+
+
+def iter_nodes(node: Node):
+    """Yield ``node`` and all descendants (pre-order)."""
+    stack = [node]
+    while stack:
+        n = stack.pop()
+        yield n
+        k = n.kind
+        if k == K_LAM:
+            stack.append(n.body)
+        elif k == K_APP:
+            stack.append(n.fn)
+            stack.extend(n.args)
+        elif k == K_IF:
+            stack.extend((n.test, n.then, n.els))
+        elif k == K_BEGIN:
+            stack.extend(n.body)
+        elif k == K_LET or k == K_LETREC:
+            stack.extend(n.rhss)
+            stack.append(n.body)
+        elif k == K_SET:
+            stack.append(n.expr)
+        elif k == K_TERMC:
+            stack.append(n.expr)

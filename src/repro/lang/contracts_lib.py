@@ -1,0 +1,124 @@
+"""The Findler–Felleisen contract library of the embedded language.
+
+§2.3 of the paper places ``terminating/c`` among ordinary behavioural
+contracts: "Such contracts, when combined with traditional pre- and
+post-condition contracts, form a notion of contracts for total
+correctness."  This module supplies those traditional contracts — written
+*in* the object language, in the classic projection encoding — so the
+composition actually exists in the reproduced system.
+
+Encoding
+--------
+
+A contract value is a pair ``(first-order? . projection-maker)``:
+
+* ``first-order?`` — a cheap predicate used by ``or/c`` dispatch and
+  available through ``contract-first-order``;
+* ``projection-maker`` — ``(λ (pos neg) (λ (v) …))``: given the two blame
+  parties it yields the projection that either returns (a wrapper of)
+  ``v`` or calls the ``blame-error`` primitive with the party at fault.
+
+Blame discipline: a flat check failing blames ``pos`` (the party that
+promised the value).  Function contracts swap the parties on their
+domains — a bad argument is the *caller's* fault — which is what the
+``->/c`` surface form (expanded in :mod:`repro.lang.parser`) implements.
+
+Attach a contract with ``(contract c v 'server 'client)``, the
+``define/contract`` form, or compose with termination:
+``(->t/c nat/c nat/c)`` is ``->/c`` plus ``terminating/c`` — a total-
+correctness contract.
+"""
+
+CONTRACTS_SOURCE = """
+;; -- attaching ---------------------------------------------------------------
+(define (contract c v pos neg) (((cdr c) pos neg) v))
+(define (make-contract first-order proj) (cons first-order proj))
+(define (contract-first-order c) (car c))
+(define (contract-projection c) (cdr c))
+
+;; -- flat contracts ----------------------------------------------------------
+(define (flat-named/c name pred)
+  (cons pred
+        (lambda (pos neg)
+          (lambda (v) (if (pred v) v (blame-error pos name v))))))
+(define (flat/c pred) (flat-named/c 'flat-contract pred))
+
+(define any/c (cons (lambda (v) #t) (lambda (pos neg) (lambda (v) v))))
+(define none/c (flat-named/c 'none/c (lambda (v) #f)))
+(define nat/c (flat-named/c 'natural? (lambda (v) (and (integer? v) (>= v 0)))))
+(define int/c (flat-named/c 'integer? integer?))
+(define bool/c (flat-named/c 'boolean? boolean?))
+(define sym/c (flat-named/c 'symbol? symbol?))
+(define str/c (flat-named/c 'string? string?))
+(define proc/c (flat-named/c 'procedure? procedure?))
+(define nil/c (flat-named/c 'null? null?))
+
+(define (=/c n) (flat-named/c '=/c (lambda (v) (and (number? v) (= v n)))))
+(define (>/c n) (flat-named/c '>/c (lambda (v) (and (number? v) (> v n)))))
+(define (>=/c n) (flat-named/c '>=/c (lambda (v) (and (number? v) (>= v n)))))
+(define (</c n) (flat-named/c '</c (lambda (v) (and (number? v) (< v n)))))
+(define (<=/c n) (flat-named/c '<=/c (lambda (v) (and (number? v) (<= v n)))))
+(define (between/c lo hi)
+  (flat-named/c 'between/c
+                (lambda (v) (and (number? v) (<= lo v) (<= v hi)))))
+
+;; -- combinators ---------------------------------------------------------------
+;; and2/c / or2/c are the binary cores; the n-ary and/c and or/c surface
+;; forms fold onto them in the parser.
+(define (and2/c c1 c2)
+  (cons (lambda (v) (and ((car c1) v) ((car c2) v)))
+        (lambda (pos neg)
+          (let ([p1 ((cdr c1) pos neg)]
+                [p2 ((cdr c2) pos neg)])
+            (lambda (v) (p2 (p1 v)))))))
+
+(define (or2/c c1 c2)
+  ;; Dispatch on the first-order tests (Racket's rule): the first branch
+  ;; whose cheap test accepts gets to project the value.
+  (cons (lambda (v) (or ((car c1) v) ((car c2) v)))
+        (lambda (pos neg)
+          (lambda (v)
+            (cond [((car c1) v) (((cdr c1) pos neg) v)]
+                  [((car c2) v) (((cdr c2) pos neg) v)]
+                  [else (blame-error pos 'or/c v)])))))
+
+(define (not/c c)
+  (cons (lambda (v) (not ((car c) v)))
+        (lambda (pos neg)
+          (lambda (v) (if ((car c) v) (blame-error pos 'not/c v) v)))))
+
+(define (listof/c c)
+  (cons (lambda (v) (list? v))
+        (lambda (pos neg)
+          (let ([proj ((cdr c) pos neg)])
+            (letrec ([wrap (lambda (v)
+                             (cond [(null? v) '()]
+                                   [(pair? v) (cons (proj (car v))
+                                                    (wrap (cdr v)))]
+                                   [else (blame-error pos 'listof/c v)]))])
+              wrap)))))
+
+(define (nonempty-listof/c c)
+  (and2/c (flat-named/c 'nonempty? pair?) (listof/c c)))
+
+(define (cons/c ca cd)
+  (cons (lambda (v) (and (pair? v) ((car ca) (car v)) ((car cd) (cdr v))))
+        (lambda (pos neg)
+          (let ([pa ((cdr ca) pos neg)]
+                [pd ((cdr cd) pos neg)])
+            (lambda (v)
+              (if (pair? v)
+                  (cons (pa (car v)) (pd (cdr v)))
+                  (blame-error pos 'cons/c v)))))))
+"""
+
+#: Names the library binds in the global frame (kept in sync by tests).
+CONTRACT_LIBRARY_NAMES = [
+    "contract", "make-contract", "contract-first-order",
+    "contract-projection",
+    "flat-named/c", "flat/c",
+    "any/c", "none/c", "nat/c", "int/c", "bool/c", "sym/c", "str/c",
+    "proc/c", "nil/c",
+    "=/c", ">/c", ">=/c", "</c", "<=/c", "between/c",
+    "and2/c", "or2/c", "not/c", "listof/c", "nonempty-listof/c", "cons/c",
+]

@@ -1,0 +1,34 @@
+"""Monotonicity constraints: the paper's §6.2 future-work extension.
+
+Monotonicity-constraint (MC) graphs (Codish–Lagoon–Stuckey) generalize
+size-change graphs with constraints among *all* of a transition's source
+and target parameters.  This package provides:
+
+* :class:`~repro.mc.graph.MCGraph` — closed constraint graphs with
+  composition, satisfiability, and the MC termination-local check
+  (descent or bounded ascent),
+* :class:`~repro.mc.monitor.MCMonitor` — a drop-in dynamic monitor for
+  the CEK machine ("MC as a contract"),
+* :func:`~repro.mc.static.verify_source_mc` — the static verifier of §4
+  re-based on MC evidence,
+* :func:`~repro.mc.analyze.mc_check` — the phase-2 closure test.
+"""
+
+from repro.mc.analyze import MCResult, mc_check
+from repro.mc.graph import GEQ, GT, MCGraph, NO_EDGE, mc_graph_of_values
+from repro.mc.monitor import MCMonitor
+from repro.mc.static import MCEngine, verify_program_mc, verify_source_mc
+
+__all__ = [
+    "GEQ",
+    "GT",
+    "MCEngine",
+    "MCGraph",
+    "MCMonitor",
+    "MCResult",
+    "NO_EDGE",
+    "mc_check",
+    "mc_graph_of_values",
+    "verify_program_mc",
+    "verify_source_mc",
+]

@@ -1,0 +1,377 @@
+"""Monotonicity-constraint (MC) graphs.
+
+The paper's §6.2 points at *monotonicity constraints* (Codish, Lagoon,
+Stuckey, ICLP 2005) as a strictly more general basis than size-change
+graphs and suggests they "could be formulated as a dynamic contract in
+future work".  This subpackage is that future work.
+
+A size-change graph only relates *source* parameters to *target*
+parameters with ``↓`` / ``↓=`` arcs.  A monotonicity-constraint graph is a
+conjunction of ``u > v`` / ``u ≥ v`` constraints where ``u`` and ``v``
+range over **all** of the source *and* target parameters.  The two extra
+classes of constraints buy two new powers:
+
+* **context constraints** (source–source, e.g. ``x > y`` from a branch
+  guard) can make a composed transition *unsatisfiable*, pruning the
+  spurious idempotent loops that make plain SCT fail;
+* **bounded ascent** (target–source constraints like ``x′ > x`` together
+  with a ceiling ``x′ ≤ c′``, ``c′ ≤ c``) justifies counting-*up* loops —
+  the ``lh-range`` / ``acl2-fig-2`` rows that plain SCT can only handle
+  with a user-supplied measure.
+
+Representation
+--------------
+
+A graph over ``a`` source and ``b`` target parameters is a square matrix
+over nodes ``0 … a-1`` (sources) and ``a … a+b-1`` (targets).  Entry
+``w[u][v]`` is ``1`` for ``val(u) > val(v)``, ``0`` for ``val(u) ≥
+val(v)``, and ``-1`` for "no constraint".  All values are compared in a
+single well-founded measure (the node-count/absolute-value *size* of
+:func:`repro.values.values.size_of`), which is a natural number — so
+``>`` chains down are finite and ``>`` chains up below a fixed bound are
+finite, the two facts the termination criterion leans on.
+
+Graphs are stored **closed** (all-pairs saturating longest path), so
+structural equality coincides with logical equivalence of satisfiable
+constraint sets, and unsatisfiability (a ``u > u`` cycle) is detected at
+construction.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+NO_EDGE = -1
+GEQ = 0
+GT = 1
+
+
+def _close(matrix: List[List[int]]) -> bool:
+    """Close ``matrix`` in place under transitivity (Floyd–Warshall with
+    weights saturating at 1).  Returns False when a strict cycle makes the
+    constraint set unsatisfiable."""
+    n = len(matrix)
+    for k in range(n):
+        row_k = matrix[k]
+        for i in range(n):
+            w_ik = matrix[i][k]
+            if w_ik == NO_EDGE:
+                continue
+            row_i = matrix[i]
+            for j in range(n):
+                w_kj = row_k[j]
+                if w_kj == NO_EDGE:
+                    continue
+                w = w_ik + w_kj
+                if w > 1:
+                    w = 1
+                if w > row_i[j]:
+                    row_i[j] = w
+    for i in range(n):
+        if matrix[i][i] == GT:
+            return False
+    return True
+
+
+class MCGraph:
+    """An immutable, closed monotonicity-constraint graph.
+
+    Use :meth:`build` (or :func:`mc_graph_of_values` /
+    ``repro.mc.arcs.mc_relate``-driven construction) rather than the raw
+    constructor; ``build`` closes the constraint set and collapses
+    unsatisfiable ones to the shared :data:`UNSAT` witness.
+    """
+
+    __slots__ = ("pre_arity", "post_arity", "rows", "sat", "_hash")
+
+    def __init__(self, pre_arity: int, post_arity: int,
+                 rows: Tuple[Tuple[int, ...], ...], sat: bool):
+        self.pre_arity = pre_arity
+        self.post_arity = post_arity
+        self.rows = rows
+        self.sat = sat
+        self._hash = hash((pre_arity, post_arity, rows, sat))
+
+    # -- construction --------------------------------------------------------
+
+    @staticmethod
+    def build(pre_arity: int, post_arity: int,
+              constraints: Iterable[Tuple[int, int, int]]) -> "MCGraph":
+        """Build and close a graph from ``(u, w, v)`` triples meaning
+        ``val(u) > val(v)`` when ``w`` is :data:`GT` and ``val(u) ≥
+        val(v)`` when ``w`` is :data:`GEQ`.  Node ids: sources are
+        ``0 … pre_arity-1``, targets ``pre_arity … pre_arity+post_arity-1``.
+        """
+        n = pre_arity + post_arity
+        matrix = [[NO_EDGE] * n for _ in range(n)]
+        for i in range(n):
+            matrix[i][i] = GEQ
+        for (u, w, v) in constraints:
+            if u == v:
+                if w == GT:
+                    return MCGraph.unsat(pre_arity, post_arity)
+                continue
+            if w > matrix[u][v]:
+                matrix[u][v] = w
+        if not _close(matrix):
+            return MCGraph.unsat(pre_arity, post_arity)
+        return MCGraph(pre_arity, post_arity,
+                       tuple(tuple(row) for row in matrix), True)
+
+    @staticmethod
+    def unsat(pre_arity: int, post_arity: int) -> "MCGraph":
+        """The unsatisfiable graph: an infeasible transition.  It composes
+        to itself and trivially satisfies the local termination check
+        (an impossible transition cannot be iterated)."""
+        return MCGraph(pre_arity, post_arity, (), False)
+
+    @staticmethod
+    def top(pre_arity: int, post_arity: int) -> "MCGraph":
+        """The constraint-free graph (anything may happen)."""
+        return MCGraph.build(pre_arity, post_arity, ())
+
+    # -- node naming -----------------------------------------------------------
+
+    def pre(self, i: int) -> int:
+        """Node id of source parameter ``i``."""
+        return i
+
+    def post(self, j: int) -> int:
+        """Node id of target parameter ``j``."""
+        return self.pre_arity + j
+
+    # -- structure ---------------------------------------------------------------
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, MCGraph)
+            and other.sat == self.sat
+            and other.pre_arity == self.pre_arity
+            and other.post_arity == self.post_arity
+            and other.rows == self.rows
+        )
+
+    def __hash__(self) -> int:
+        return self._hash
+
+    def constraint(self, u: int, v: int) -> int:
+        """The closed relation between nodes ``u`` and ``v``
+        (:data:`GT`, :data:`GEQ`, or :data:`NO_EDGE`)."""
+        if not self.sat:
+            raise ValueError("the unsatisfiable graph has no constraints")
+        return self.rows[u][v]
+
+    def entails(self, u: int, w: int, v: int) -> bool:
+        """Does the graph entail ``val(u) > val(v)`` (``w=GT``) or
+        ``val(u) ≥ val(v)`` (``w=GEQ``)?  The unsatisfiable graph entails
+        everything."""
+        if not self.sat:
+            return True
+        if u == v:
+            return w == GEQ
+        return self.rows[u][v] >= w
+
+    # -- composition ----------------------------------------------------------------
+
+    def compose(self, later: "MCGraph") -> "MCGraph":
+        """Sequential composition: this transition followed by ``later``.
+
+        Built by gluing the two graphs along the shared middle layer,
+        closing, and projecting onto the outer layers.  An unsatisfiable
+        glued system means the two transitions can never happen in
+        sequence, and yields :meth:`unsat`.
+        """
+        if self.post_arity != later.pre_arity:
+            raise ValueError(
+                f"arity mismatch: {self.post_arity} targets composed with "
+                f"{later.pre_arity} sources"
+            )
+        a, b, c = self.pre_arity, self.post_arity, later.post_arity
+        if not self.sat or not later.sat:
+            return MCGraph.unsat(a, c)
+        n = a + b + c
+        matrix = [[NO_EDGE] * n for _ in range(n)]
+        for i in range(n):
+            matrix[i][i] = GEQ
+        for u in range(a + b):
+            row = self.rows[u]
+            dest = matrix[u]
+            for v in range(a + b):
+                if row[v] > dest[v]:
+                    dest[v] = row[v]
+        for u in range(b + c):
+            row = later.rows[u]
+            dest = matrix[a + u]
+            for v in range(b + c):
+                if row[v] > dest[a + v]:
+                    dest[a + v] = row[v]
+        if not _close(matrix):
+            return MCGraph.unsat(a, c)
+        keep = list(range(a)) + list(range(a + b, n))
+        rows = tuple(tuple(matrix[u][v] for v in keep) for u in keep)
+        return MCGraph(a, c, rows, True)
+
+    def is_idempotent(self) -> bool:
+        return self.pre_arity == self.post_arity and self.compose(self) == self
+
+    # -- the termination-local check ---------------------------------------------------
+
+    def has_descent(self) -> bool:
+        """Does some parameter strictly descend across the transition
+        (``x > x′``)?"""
+        if not self.sat:
+            return False
+        n = min(self.pre_arity, self.post_arity)
+        return any(self.rows[i][self.pre_arity + i] == GT for i in range(n))
+
+    def bounded_ascent_witness(self) -> Optional[Tuple[int, int]]:
+        """A pair ``(u, v)`` justifying termination by *bounded ascent*:
+
+        * ``u ≥ u′`` — the ceiling never rises,
+        * ``v′ > v`` — the counter strictly climbs,
+        * ``u′ ≥ v′`` — the counter stays at or below the ceiling.
+
+        Then ``u − v`` is a strictly decreasing natural number (sizes are
+        naturals and the gap stays ≥ 0), so the transition cannot repeat
+        forever.  Returns ``None`` when no such pair exists.
+        """
+        if not self.sat or self.pre_arity != self.post_arity:
+            return None
+        n = self.pre_arity
+        rows = self.rows
+        climbers = [v for v in range(n) if rows[n + v][v] == GT]
+        if not climbers:
+            return None
+        for u in range(n):
+            if rows[u][n + u] < GEQ:
+                continue
+            post_u = rows[n + u]
+            for v in climbers:
+                if u != v and post_u[n + v] >= GEQ:
+                    return (u, v)
+        return None
+
+    def desc_ok(self) -> bool:
+        """The MC analogue of the paper's ``desc?``: an idempotent,
+        satisfiable graph must carry a strict self-descent *or* a bounded-
+        ascent witness.  Unsatisfiable and non-idempotent graphs pass (the
+        former cannot occur, the latter cannot be iterated verbatim).
+
+        The name matches :meth:`repro.sct.graph.SCGraph.desc_ok` so the
+        run-time monitor can check either graph family through one
+        interface.
+        """
+        if not self.sat:
+            return True
+        if not self.is_idempotent():
+            return True
+        if self.has_descent():
+            return True
+        return self.bounded_ascent_witness() is not None
+
+    # -- conversions ----------------------------------------------------------------------
+
+    @staticmethod
+    def from_scgraph(g, pre_arity: int, post_arity: int) -> "MCGraph":
+        """Embed a size-change graph: ``i ↓ j`` becomes ``pre_i > post_j``
+        and ``i ↓= j`` becomes ``pre_i ≥ post_j``."""
+        from repro.sct.graph import STRICT
+
+        constraints = []
+        for (i, r, j) in g.arcs:
+            w = GT if r is STRICT else GEQ
+            constraints.append((i, w, pre_arity + j))
+        return MCGraph.build(pre_arity, post_arity, constraints)
+
+    def to_scgraph(self):
+        """Project onto a size-change graph, dropping context and ascent
+        constraints (the sound direction: MC entails its SC projection)."""
+        from repro.sct.graph import SCGraph, STRICT, WEAK
+
+        if not self.sat:
+            return SCGraph()
+        arcs = []
+        for i in range(self.pre_arity):
+            row = self.rows[i]
+            for j in range(self.post_arity):
+                w = row[self.pre_arity + j]
+                if w == GT:
+                    arcs.append((i, STRICT, j))
+                elif w == GEQ:
+                    arcs.append((i, WEAK, j))
+        return SCGraph(arcs)
+
+    # -- display -------------------------------------------------------------------------------
+
+    def pretty(self, pre_names: Optional[Sequence[str]] = None,
+               post_names: Optional[Sequence[str]] = None) -> str:
+        if not self.sat:
+            return "{unsat}"
+        if post_names is None:
+            post_names = pre_names
+
+        def nm(u: int) -> str:
+            if u < self.pre_arity:
+                if pre_names is not None and u < len(pre_names):
+                    return pre_names[u]
+                return f"x{u}"
+            j = u - self.pre_arity
+            if post_names is not None and j < len(post_names):
+                return f"{post_names[j]}′"
+            return f"x{j}′"
+
+        shown = []
+        n = self.pre_arity + self.post_arity
+        for u in range(n):
+            for v in range(n):
+                if u != v and self.rows[u][v] != NO_EDGE:
+                    op = ">" if self.rows[u][v] == GT else "≥"
+                    shown.append(f"{nm(u)} {op} {nm(v)}")
+        return "{" + ", ".join(shown) + "}"
+
+    def __repr__(self) -> str:
+        return f"MCGraph{self.pretty()}"
+
+
+def mc_graph_of_sizes(pre_sizes: Sequence[Optional[int]],
+                      post_sizes: Sequence[Optional[int]]) -> MCGraph:
+    """Build the exact MC graph over two vectors of well-founded sizes.
+    Entries of ``None`` (values with no well-founded size, e.g. floats)
+    contribute no constraints."""
+    sizes = list(pre_sizes) + list(post_sizes)
+    a = len(pre_sizes)
+    n = len(sizes)
+    constraints = []
+    for u in range(n):
+        su = sizes[u]
+        if su is None:
+            continue
+        for v in range(u + 1, n):
+            sv = sizes[v]
+            if sv is None:
+                continue
+            if su > sv:
+                constraints.append((u, GT, v))
+            elif su < sv:
+                constraints.append((v, GT, u))
+            else:
+                constraints.append((u, GEQ, v))
+                constraints.append((v, GEQ, u))
+    return MCGraph.build(a, n - a, constraints)
+
+
+def mc_graph_of_values(old_args: Sequence, new_args: Sequence) -> MCGraph:
+    """Build the *exact* MC graph observed between two concrete argument
+    vectors: every pair of values (old–old, old–new, new–new) is compared
+    in the well-founded size measure.
+
+    With concrete values the measure is a total order on the comparable
+    values, so dynamic MC graphs carry full context — the information the
+    static analysis must approximate with path conditions.  Values without
+    a well-founded size (floats, and closures other than to themselves)
+    contribute no constraints.
+    """
+    from repro.values.values import size_of
+
+    return mc_graph_of_sizes([size_of(v) for v in old_args],
+                             [size_of(v) for v in new_args])

@@ -1,0 +1,32 @@
+"""Size-change termination contracts for ordinary Python functions.
+
+This package transplants the paper's dynamic semantics onto Python
+callables: ``@terminating`` plays the role of ``terminating/c``.
+
+>>> from repro.pyterm import terminating, SizeChangeError
+>>> @terminating
+... def fact(n):
+...     return 1 if n == 0 else n * fact(n - 1)
+>>> fact(5)
+120
+>>> @terminating
+... def bad(n):
+...     return bad(n)          # doctest: +SKIP
+>>> bad(1)                     # doctest: +SKIP
+SizeChangeError: size-change violation in bad ...
+"""
+
+from repro.pyterm.decorator import SizeChangeError, extent_table_depth, terminating
+from repro.pyterm.extent import default_include, monitor_extent, monitored
+from repro.pyterm.order import PySizeOrder, py_size
+
+__all__ = [
+    "terminating",
+    "SizeChangeError",
+    "PySizeOrder",
+    "py_size",
+    "extent_table_depth",
+    "monitor_extent",
+    "monitored",
+    "default_include",
+]

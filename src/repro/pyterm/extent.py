@@ -1,0 +1,241 @@
+"""Full-extent monitoring: λSCT's *every-application* semantics for Python.
+
+The ``@terminating`` decorator only observes calls to functions that were
+explicitly wrapped — the ``λCSCT`` contract semantics.  This module is the
+``λSCT`` analogue: inside a :class:`monitor_extent` block **every**
+Python-level call is observed through ``sys.setprofile``, so divergence
+hiding in *unwrapped* helpers is caught too:
+
+    with monitor_extent():
+        main()          # any loop anywhere below main() is monitored
+
+Design notes
+------------
+
+* **Keying.**  A profile callback sees frames, not function objects, so
+  entries are keyed by the *code object* — all closures of one ``def`` or
+  ``lambda`` share an entry.  This is exactly the paper's closure-hashing
+  compromise (§5): sound (the table cannot grow without bound), but able
+  to produce false positives when distinct closures of the same λ
+  alternate.  Use the selective decorator when that precision matters.
+* **Extent scoping.**  Like the λSCT table, entries are saved on call
+  entry and restored on return/unwind, so sibling calls never compare
+  against each other.
+* **Filtering.**  Standard-library, site-packages and this library's own
+  frames are skipped by default; pass ``include`` to monitor exactly the
+  code you care about.  Generator and coroutine frames are skipped (their
+  resumption protocol is not a size-change call sequence).
+* **Scope.**  ``sys.setprofile`` is per-thread; the extent monitors the
+  thread that entered it.  On violation the profiler unwinds with the
+  :class:`~repro.pyterm.decorator.SizeChangeError`, and ``__exit__``
+  restores the previous profile function.
+"""
+
+from __future__ import annotations
+
+import inspect
+import os
+import sys
+import sysconfig
+import threading
+from typing import Callable, Optional, Tuple
+
+from repro.pyterm.decorator import SizeChangeError
+from repro.pyterm.order import PySizeOrder, py_size
+
+_REPRO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+_STDLIB = sysconfig.get_paths().get("stdlib", "")
+_PURELIB = sysconfig.get_paths().get("purelib", "")
+
+_SKIP_FLAGS = (
+    inspect.CO_GENERATOR | inspect.CO_COROUTINE | inspect.CO_ASYNC_GENERATOR
+)
+
+# Comprehension frames take a single fresh-iterator argument that no
+# well-founded order can relate across calls; any recursion cycle through
+# a comprehension also passes through its named enclosing function (a
+# comprehension cannot name itself), so skipping them loses no soundness
+# — the same argument as the paper's Lemma A.1.
+_SKIP_NAMES = frozenset({"<listcomp>", "<setcomp>", "<dictcomp>", "<module>"})
+
+_MISSING = object()
+
+
+def default_include(code) -> bool:
+    """Monitor user code only: skip this library, the standard library,
+    installed packages, and synthetic filenames like ``<frozen ...>``."""
+    filename = code.co_filename
+    if filename.startswith(_REPRO_ROOT):
+        return False
+    if _STDLIB and filename.startswith(_STDLIB):
+        return False
+    if _PURELIB and filename.startswith(_PURELIB):
+        return False
+    if filename.startswith("<frozen"):
+        return False
+    return True
+
+
+class _Entry:
+    __slots__ = ("check_args", "comps", "count", "next_check")
+
+    def __init__(self, check_args, comps, count, next_check):
+        self.check_args = check_args
+        self.comps = comps
+        self.count = count
+        self.next_check = next_check
+
+
+class monitor_extent:
+    """Context manager enforcing size-change termination on every call in
+    its dynamic extent (current thread).
+
+    Options:
+
+    * ``include`` — predicate on code objects selecting what to monitor
+      (default :func:`default_include`).
+    * ``order`` / ``deep`` — the well-founded order on argument values
+      (as in :func:`repro.pyterm.terminating`).
+    * ``graphs`` — ``"sc"`` (size-change) or ``"mc"`` (monotonicity
+      constraints, accepting bounded count-up loops).
+    * ``backoff`` — exponential backoff per code object (§5).
+    * ``blame`` — the party named in violations (default: the offending
+      function's qualified name).
+    """
+
+    def __init__(
+        self,
+        include: Optional[Callable] = None,
+        order=None,
+        deep: bool = False,
+        graphs: str = "sc",
+        backoff: bool = False,
+        blame: Optional[str] = None,
+    ):
+        if graphs not in ("sc", "mc"):
+            raise ValueError(f"graphs must be 'sc' or 'mc', got {graphs!r}")
+        self.include = include if include is not None else default_include
+        self.order = order if order is not None else PySizeOrder(deep=deep)
+        self.deep = deep
+        self.graphs = graphs
+        self.backoff = backoff
+        self.blame = blame
+        self.calls_seen = 0
+        self.checks_done = 0
+        self.violation: Optional[SizeChangeError] = None
+        self._table: dict = {}
+        self._undo: dict = {}
+        self._previous_profile = None
+        self._owner: Optional[int] = None
+
+    # -- graph construction -------------------------------------------------
+
+    def _make_graph(self, old: tuple, new: tuple):
+        if self.graphs == "mc":
+            from repro.mc.graph import mc_graph_of_sizes
+
+            return mc_graph_of_sizes([py_size(v, self.deep) for v in old],
+                                     [py_size(v, self.deep) for v in new])
+        from repro.sct.graph import graph_of_values
+
+        return graph_of_values(old, new, self.order)
+
+    # -- the profile hook ------------------------------------------------------
+
+    def _profile(self, frame, event, arg):
+        if event == "call":
+            code = frame.f_code
+            if (code.co_flags & _SKIP_FLAGS or code.co_name in _SKIP_NAMES
+                    or not self.include(code)):
+                return
+            self.calls_seen += 1
+            nargs = code.co_argcount
+            names = code.co_varnames[:nargs]
+            local = frame.f_locals
+            args = tuple(local.get(n, _MISSING) for n in names)
+            key = code
+            prev = self._table.get(key, _MISSING)
+            self._undo[id(frame)] = (key, prev)
+            if prev is _MISSING:
+                self._table[key] = _Entry(args, frozenset(), 1, 2)
+            else:
+                self._table[key] = self._advance(prev, code, names, args)
+        elif event == "return":
+            undo = self._undo.pop(id(frame), None)
+            if undo is not None:
+                key, prev = undo
+                if prev is _MISSING:
+                    self._table.pop(key, None)
+                else:
+                    self._table[key] = prev
+
+    def _advance(self, entry: _Entry, code, names, args: tuple) -> _Entry:
+        count = entry.count + 1
+        if count < entry.next_check:
+            return _Entry(entry.check_args, entry.comps, count,
+                          entry.next_check)
+        self.checks_done += 1
+        g = self._make_graph(entry.check_args, args)
+        new_comps = {g}
+        for c in entry.comps:
+            new_comps.add(c.compose(g))
+        for c in new_comps:
+            if not c.desc_ok():
+                violation = SizeChangeError(
+                    function=code.co_qualname,
+                    prev_args=entry.check_args,
+                    new_args=args,
+                    graph=g,
+                    composition=c,
+                    blame=self.blame or code.co_qualname,
+                    call_count=count,
+                    param_names=list(names),
+                )
+                self.violation = violation
+                raise violation
+        next_check = count * 2 if self.backoff else count + 1
+        return _Entry(args, frozenset(new_comps), count, next_check)
+
+    # -- context-manager protocol --------------------------------------------------
+
+    def __enter__(self) -> "monitor_extent":
+        if self._owner is not None:
+            raise RuntimeError("monitor_extent is not reentrant; "
+                               "create a new instance per extent")
+        self._owner = threading.get_ident()
+        self._table = {}
+        self._undo = {}
+        self._previous_profile = sys.getprofile()
+        sys.setprofile(self._profile)
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        sys.setprofile(self._previous_profile)
+        self._owner = None
+        self._table.clear()
+        self._undo.clear()
+        return False
+
+
+def monitored(fn: Optional[Callable] = None, **options):
+    """Decorator form: run every call of ``fn`` inside a fresh
+    :class:`monitor_extent` — λSCT semantics from a single annotation.
+
+        @monitored
+        def main(): ...
+
+    Options are those of :class:`monitor_extent`.
+    """
+    if fn is None:
+        return lambda f: monitored(f, **options)
+
+    import functools
+
+    @functools.wraps(fn)
+    def wrapper(*args, **kwargs):
+        with monitor_extent(**options):
+            return fn(*args, **kwargs)
+
+    wrapper.__wrapped__ = fn
+    wrapper.__sct_terminating__ = True
+    return wrapper

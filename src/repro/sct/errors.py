@@ -1,0 +1,61 @@
+"""Size-change violations (``errorSC``) with blame and a witness."""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Tuple
+
+
+class SizeChangeViolation(Exception):
+    """Raised by the monitor when the size-change property fails.
+
+    Fields form the witness the user sees:
+
+    * ``function`` — description of the recurring closure,
+    * ``prev_args`` / ``new_args`` — the two argument vectors whose graph
+      completed the violating composition,
+    * ``graph`` — the newest size-change graph,
+    * ``composition`` — the idempotent composed graph lacking a strict
+      self-arc (the actual SCP counterexample),
+    * ``blame`` — the party charged (the enclosing ``term/c`` label, §2.3),
+    * ``call_count`` — how many calls to the function the extent had seen.
+    """
+
+    def __init__(
+        self,
+        function: str,
+        prev_args: Tuple,
+        new_args: Tuple,
+        graph,
+        composition,
+        blame: Optional[str] = None,
+        call_count: int = 0,
+        param_names: Optional[Sequence[str]] = None,
+    ):
+        self.function = function
+        self.prev_args = prev_args
+        self.new_args = new_args
+        self.graph = graph
+        self.composition = composition
+        self.blame = blame
+        self.call_count = call_count
+        self.param_names = list(param_names) if param_names else None
+        super().__init__(self._render())
+
+    def _render(self) -> str:
+        from repro.values.values import write_value
+
+        def show(args: Tuple) -> str:
+            return "(" + " ".join(write_value(a) for a in args) + ")"
+
+        lines = [f"size-change violation in {self.function}"]
+        if self.blame is not None:
+            lines.append(f"  blaming: {self.blame}")
+        lines.append(f"  previous arguments: {show(self.prev_args)}")
+        lines.append(f"  new arguments:      {show(self.new_args)}")
+        lines.append(f"  latest graph:       {self.graph.pretty(self.param_names)}")
+        lines.append(
+            "  violating composition (idempotent, no strict self-arc): "
+            + self.composition.pretty(self.param_names)
+        )
+        lines.append(f"  after {self.call_count} monitored calls")
+        return "\n".join(lines)

@@ -1,0 +1,170 @@
+"""Size-change graphs (paper Fig. 4).
+
+A size-change graph ``g ∈ 𝒫(ℕ × r × ℕ)`` is a set of arcs ``(i, r, j)``
+relating the ``i``-th argument of one call to the ``j``-th argument of a
+later call to the same function.  ``r`` is either strict descent ``↓``
+(``STRICT``) or non-ascent ``↓=`` (``WEAK``).
+
+This module implements, directly from the figure:
+
+* ``graph`` — build a graph from two argument vectors under a partial order,
+* ``;`` (:func:`compose`) — sequential composition, keeping the weak arc
+  only when no strict path exists,
+* ``desc?`` (:meth:`SCGraph.desc_ok`) — idempotent graphs must carry a
+  strict self-arc,
+* ``prog?`` (:func:`prog_ok`) — every contiguous composition satisfies
+  ``desc?`` (the monitor uses the incremental form in
+  :mod:`repro.sct.monitor`; this quadratic reference version is kept for
+  spec-conformance tests).
+"""
+
+from __future__ import annotations
+
+from typing import FrozenSet, Iterable, Optional, Sequence, Tuple
+
+STRICT = True
+WEAK = False
+
+Arc = Tuple[int, bool, int]
+
+
+def arc(i: int, r: str, j: int) -> Arc:
+    """Readable arc constructor: ``arc(0, '<', 1)`` or ``arc(0, '=', 1)``."""
+    if r == "<":
+        return (i, STRICT, j)
+    if r == "=":
+        return (i, WEAK, j)
+    raise ValueError(f"arc relation must be '<' or '=', got {r!r}")
+
+
+class SCGraph:
+    """An immutable size-change graph (a frozenset of arcs)."""
+
+    __slots__ = ("arcs", "_hash")
+
+    def __init__(self, arcs: Iterable[Arc] = ()):
+        self.arcs: FrozenSet[Arc] = frozenset(arcs)
+        self._hash = hash(self.arcs)
+
+    # -- structure -----------------------------------------------------------
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, SCGraph) and other.arcs == self.arcs
+
+    def __hash__(self) -> int:
+        return self._hash
+
+    def __len__(self) -> int:
+        return len(self.arcs)
+
+    def __iter__(self):
+        return iter(self.arcs)
+
+    # -- the paper's operations ----------------------------------------------
+
+    def compose(self, later: "SCGraph") -> "SCGraph":
+        """Sequential composition ``self ; later`` (Fig. 4).
+
+        An arc ``i → k`` is strict when some path ``i r j`` / ``j r k`` has a
+        strict leg; it is weak only when *every* connecting path is weak.
+        """
+        by_src = {}
+        for (j, r1, k) in later.arcs:
+            by_src.setdefault(j, []).append((r1, k))
+        strict = set()
+        weak = set()
+        for (i, r0, j) in self.arcs:
+            for (r1, k) in by_src.get(j, ()):
+                if r0 is STRICT or r1 is STRICT:
+                    strict.add((i, k))
+                else:
+                    weak.add((i, k))
+        arcs = [(i, STRICT, k) for (i, k) in strict]
+        arcs += [(i, WEAK, k) for (i, k) in weak if (i, k) not in strict]
+        return SCGraph(arcs)
+
+    def is_idempotent(self) -> bool:
+        return self.compose(self) == self
+
+    def has_strict_self_arc(self) -> bool:
+        return any(r is STRICT and i == j for (i, r, j) in self.arcs)
+
+    def desc_ok(self) -> bool:
+        """``desc?`` (Fig. 4): idempotent graphs must have a strict
+        self-arc.  Non-idempotent graphs are unconstrained (they cannot be
+        iterated verbatim)."""
+        if not self.is_idempotent():
+            return True
+        return self.has_strict_self_arc()
+
+    # -- display ---------------------------------------------------------------
+
+    def pretty(self, names: Optional[Sequence[str]] = None) -> str:
+        def nm(i: int) -> str:
+            if names is not None and i < len(names):
+                return names[i]
+            return f"x{i}"
+
+        shown = sorted(self.arcs, key=lambda a: (a[0], a[2], not a[1]))
+        inner = ", ".join(
+            f"{nm(i)} {'↓' if r is STRICT else '↓='} {nm(j)}" for (i, r, j) in shown
+        )
+        return "{" + inner + "}"
+
+    def __repr__(self) -> str:
+        return f"SCGraph{self.pretty()}"
+
+
+EMPTY_GRAPH = SCGraph()
+
+
+def compose(g0: SCGraph, g1: SCGraph) -> SCGraph:
+    return g0.compose(g1)
+
+
+def compose_run(graphs: Sequence[SCGraph]) -> SCGraph:
+    """Fold ``g_1 ; g_2 ; … ; g_n`` left to right (time order)."""
+    if not graphs:
+        raise ValueError("cannot compose an empty run")
+    acc = graphs[0]
+    for g in graphs[1:]:
+        acc = acc.compose(g)
+    return acc
+
+
+def prog_ok(graphs_newest_first: Sequence[SCGraph]) -> bool:
+    """The paper's ``prog?``: for the sequence ``g_n :: … :: g_1`` (newest
+    first, as the table stores it), every contiguous composition
+    ``g_i ; … ; g_j`` (time order) must satisfy ``desc?``.
+
+    Quadratic reference implementation; the monitor maintains the same
+    information incrementally (one new-arc batch per call).
+    """
+    chron = list(reversed(graphs_newest_first))
+    n = len(chron)
+    for i in range(n):
+        acc = chron[i]
+        if not acc.desc_ok():
+            return False
+        for j in range(i + 1, n):
+            acc = acc.compose(chron[j])
+            if not acc.desc_ok():
+                return False
+    return True
+
+
+def graph_of_values(old_args: Sequence, new_args: Sequence, order) -> SCGraph:
+    """The paper's ``graph`` function: compare argument vectors pairwise
+    under ``order`` (:mod:`repro.sct.order`), producing strict arcs for
+    observed descent and weak arcs for equality."""
+    from repro.sct.order import DESC, EQ
+
+    arcs = []
+    for i, vi in enumerate(old_args):
+        for j, vj in enumerate(new_args):
+            c = order.compare(vi, vj)
+            if c == DESC:
+                arcs.append((i, STRICT, j))
+            elif c == EQ:
+                arcs.append((i, WEAK, j))
+    return SCGraph(arcs)

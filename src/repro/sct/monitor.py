@@ -1,0 +1,245 @@
+"""The run-time size-change monitor: the paper's ``upd`` (Fig. 4) as a
+configurable policy object.
+
+The size-change table maps each function to its most recent arguments and
+the evidence accumulated for it *in the current dynamic extent*.  Where the
+paper stores the whole graph sequence ``g_n :: … :: g_1`` and re-runs the
+quadratic ``prog?`` on every call, the monitor keeps, per entry, the set of
+all contiguous compositions *ending at the latest checked call*:
+
+    S_n = { g_i ; … ; g_n | i ≤ n }   (deduplicated)
+
+Appending ``g_{n+1}`` gives ``S_{n+1} = {c ; g_{n+1} | c ∈ S_n} ∪
+{g_{n+1}}``; compositions ending earlier were checked when they were
+created, so checking ``desc?`` on the new batch alone is equivalent to the
+paper's ``prog?`` over the whole sequence.  ``S`` stabilizes at a handful of
+graphs for typical loops, making monitoring O(1) amortized per call.
+
+Policy knobs (§5 of the paper):
+
+* ``keying`` — ``'identity'`` (exact, per-closure-object; sound by
+  Lemma A.1) or ``'label'`` (one entry per syntactic λ + environment hash,
+  reproducing the paper's closure-hashing and its possible false positives),
+* ``backoff`` — exponential backoff: build/check graphs only on calls
+  1, 2, 4, 8, …; sound because sampling an infinite call sequence yields an
+  infinite sequence whose SCP violation is still inevitable,
+* ``loop_entries`` — when given a set of λ labels (e.g. from the 0-CFA
+  cycle analysis in :mod:`repro.analysis.callgraph`), only those closures
+  are monitored,
+* ``whitelist`` — function names known to terminate (e.g. statically
+  verified ones) that need no instrumentation,
+* ``measures`` — per-function-name argument-tuple measures implementing
+  custom well-founded orders (``lh-range``, ``acl2-fig-2``).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, FrozenSet, Iterable, Optional, Set, Tuple
+
+from repro.ds.hamt import Hamt, IdKey
+from repro.sct.errors import SizeChangeViolation
+from repro.sct.graph import SCGraph, graph_of_values
+from repro.sct.order import DEFAULT_ORDER
+from repro.values.equality import value_hash
+from repro.values.values import Closure
+
+_MISSING = object()
+
+
+class Entry:
+    """One size-change table entry: ``(v⃗, S, count, next_check)``."""
+
+    __slots__ = ("check_args", "comps", "count", "next_check")
+
+    def __init__(
+        self,
+        check_args: Tuple,
+        comps: FrozenSet[SCGraph],
+        count: int,
+        next_check: int,
+    ):
+        self.check_args = check_args
+        self.comps = comps
+        self.count = count
+        self.next_check = next_check
+
+    def __repr__(self) -> str:
+        return f"Entry(count={self.count}, |S|={len(self.comps)})"
+
+
+class SCMonitor:
+    """Policy + ``upd`` implementation shared by both table strategies."""
+
+    def __init__(
+        self,
+        order=None,
+        keying: str = "identity",
+        backoff: bool = False,
+        whitelist: Iterable[str] = (),
+        loop_entries: Optional[Set[int]] = None,
+        measures: Optional[Dict[str, Callable[[Tuple], Tuple]]] = None,
+        trace: Optional[list] = None,
+        enforce: bool = True,
+        events: Optional[list] = None,
+    ):
+        if keying not in ("identity", "label"):
+            raise ValueError(f"unknown keying mode: {keying!r}")
+        self.order = order if order is not None else DEFAULT_ORDER
+        self.keying = keying
+        self.backoff = backoff
+        self.whitelist = frozenset(whitelist)
+        self.loop_entries = loop_entries
+        self.measures = dict(measures) if measures else {}
+        # Optional event log: (function, prev_args, new_args, graph) per check.
+        self.trace = trace
+        # Optional call/return event stream for the Fig. 1 call-tree tracer
+        # (repro.sct.trace): ("call", describe, args, graph|None) at each
+        # monitored call, ("return",) at each restore.  Only the imperative
+        # strategy emits returns (cm has no restore frames by design).
+        self.events = events
+        # ``enforce=False`` gives the paper's Fig. 6 call-sequence
+        # semantics: tables extend (``ext``) but nothing guards the SCP;
+        # violations are recorded in ``self.violations`` instead of raised.
+        self.enforce = enforce
+        self.violations: list = []
+        # Statistics: how many calls were monitored / checked / skipped.
+        self.calls_seen = 0
+        self.checks_done = 0
+
+    # -- policy ---------------------------------------------------------------
+
+    def should_monitor(self, clo: Closure) -> bool:
+        if self.loop_entries is not None and clo.lam.label not in self.loop_entries:
+            return False
+        if clo.name is not None and clo.name in self.whitelist:
+            return False
+        return True
+
+    def key_for(self, clo: Closure):
+        """Hashable table key for ``clo`` under the keying policy."""
+        if self.keying == "identity":
+            return IdKey(clo)
+        # 'label': structural closure hash — λ label plus the hash of the
+        # closure's immediate rib, approximating the paper's closure hashing.
+        env = clo.env
+        rib = getattr(env, "bindings", None)
+        if rib is None or type(rib) is not dict:
+            return ("label", clo.lam.label, 0)
+        code = 0
+        for name, value in rib.items():
+            code ^= (hash(name) * 31 + value_hash(value)) & 0x7FFFFFFF
+        return ("label", clo.lam.label, code)
+
+    # -- the paper's `upd` ------------------------------------------------------
+
+    def measured(self, clo: Closure, args: Tuple) -> Tuple:
+        measure = self.measures.get(clo.name) if clo.name else None
+        if measure is None:
+            return args
+        result = measure(args)
+        return tuple(result)
+
+    def initial_entry(self, clo: Closure, args: Tuple) -> Entry:
+        return Entry(self.measured(clo, args), frozenset(), 1, 2)
+
+    def make_graph(self, old_args: Tuple, new_args: Tuple):
+        """Build the evidence graph for one observed transition.  The base
+        monitor builds a size-change graph; :class:`repro.mc.monitor.
+        MCMonitor` overrides this with a monotonicity-constraint graph.
+        Any return type works as long as it has ``compose`` and
+        ``desc_ok``."""
+        return graph_of_values(old_args, new_args, self.order)
+
+    def advance(self, entry: Entry, clo: Closure, args: Tuple, blame) -> Entry:
+        """Extend ``entry`` with a new call; raise on an SCP violation."""
+        count = entry.count + 1
+        if count < entry.next_check:
+            if self.events is not None:
+                self.events.append(
+                    ("call", clo.describe(), self.measured(clo, args), None,
+                     [p.name for p in clo.params])
+                )
+            return Entry(entry.check_args, entry.comps, count, entry.next_check)
+        self.checks_done += 1
+        margs = self.measured(clo, args)
+        g = self.make_graph(entry.check_args, margs)
+        if self.trace is not None:
+            self.trace.append((clo.describe(), entry.check_args, margs, g))
+        if self.events is not None:
+            self.events.append(("call", clo.describe(), margs, g,
+                                [p.name for p in clo.params]))
+        new_comps = {g}
+        for c in entry.comps:
+            new_comps.add(c.compose(g))
+        for c in new_comps:
+            if not c.desc_ok():
+                violation = SizeChangeViolation(
+                    function=clo.describe(),
+                    prev_args=entry.check_args,
+                    new_args=margs,
+                    graph=g,
+                    composition=c,
+                    blame=blame,
+                    call_count=count,
+                    param_names=[p.name for p in clo.params],
+                )
+                if self.enforce:
+                    raise violation
+                self.violations.append(violation)
+                break
+        next_check = count * 2 if self.backoff else count + 1
+        return Entry(margs, frozenset(new_comps), count, next_check)
+
+    # -- table strategies --------------------------------------------------------
+
+    def upd(self, table: Hamt, clo: Closure, args: Tuple, blame) -> Hamt:
+        """Persistent-table ``upd`` (continuation-mark strategy)."""
+        self.calls_seen += 1
+        key = self.key_for(clo)
+        entry = table.get(key)
+        if entry is None:
+            if self.events is not None:
+                self.events.append(
+                    ("call", clo.describe(), self.measured(clo, args), None,
+                     [p.name for p in clo.params])
+                )
+            return table.set(key, self.initial_entry(clo, args))
+        return table.set(key, self.advance(entry, clo, args, blame))
+
+    def upd_mut(self, table: dict, clo: Closure, args: Tuple, blame):
+        """Mutable-table ``upd`` (imperative strategy).
+
+        Returns ``(key, previous_entry_or_missing_sentinel)`` so the machine
+        can push a restore frame (this is what breaks proper tail calls).
+        """
+        self.calls_seen += 1
+        key = self.key_for(clo)
+        prev = table.get(key, _MISSING)
+        if prev is _MISSING:
+            if self.events is not None:
+                self.events.append(
+                    ("call", clo.describe(), self.measured(clo, args), None,
+                     [p.name for p in clo.params])
+                )
+            table[key] = self.initial_entry(clo, args)
+        else:
+            table[key] = self.advance(prev, clo, args, blame)
+        return key, prev
+
+    def restore_mut(self, table: dict, key, prev) -> None:
+        """Undo one ``upd_mut`` (popped from the machine's restore frame)."""
+        if prev is _MISSING:
+            table.pop(key, None)
+        else:
+            table[key] = prev
+        if self.events is not None:
+            self.events.append(("return",))
+
+    def __repr__(self) -> str:
+        return (
+            f"SCMonitor(order={self.order!r}, keying={self.keying!r}, "
+            f"backoff={self.backoff})"
+        )
+
+
+MISSING = _MISSING

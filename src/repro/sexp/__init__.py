@@ -1,0 +1,16 @@
+"""S-expression front end: datum model, reader, and printer."""
+
+from repro.sexp.datum import Char, Symbol, intern
+from repro.sexp.printer import write_datum
+from repro.sexp.reader import ReaderError, Syntax, read, read_many
+
+__all__ = [
+    "Char",
+    "Symbol",
+    "intern",
+    "Syntax",
+    "ReaderError",
+    "read",
+    "read_many",
+    "write_datum",
+]

@@ -1,0 +1,123 @@
+"""Atomic datum types shared by the reader, the compiler and the runtime.
+
+A *datum* is one of:
+
+* :class:`Symbol` — interned identifier,
+* ``int`` / ``float`` — numbers,
+* ``bool`` — ``#t`` / ``#f``,
+* ``str`` — string literal,
+* :class:`Char` — character literal,
+* ``list`` of datums — proper list,
+* :class:`Dotted` — improper list.
+
+Symbols are interned so they compare and hash by identity, which keeps
+environment lookups and ``eq?`` cheap.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+
+class Symbol:
+    """An interned identifier.  Use :func:`intern`, not the constructor."""
+
+    __slots__ = ("name",)
+
+    _table: Dict[str, "Symbol"] = {}
+
+    def __init__(self, name: str):
+        self.name = name
+
+    def __repr__(self) -> str:
+        return self.name
+
+    def __hash__(self) -> int:
+        return hash(self.name)
+
+    def __eq__(self, other: object) -> bool:
+        # Interning makes identity equality sufficient, but structural
+        # equality keeps pickled / separately constructed symbols sane.
+        return isinstance(other, Symbol) and other.name == self.name
+
+
+def intern(name: str) -> Symbol:
+    """Return the unique :class:`Symbol` for ``name``."""
+    sym = Symbol._table.get(name)
+    if sym is None:
+        sym = Symbol(name)
+        Symbol._table[name] = sym
+    return sym
+
+
+_CHAR_NAMES: Dict[str, str] = {
+    "space": " ",
+    "newline": "\n",
+    "tab": "\t",
+    "nul": "\0",
+    "return": "\r",
+}
+
+_CHAR_NAMES_REV = {v: k for k, v in _CHAR_NAMES.items()}
+
+
+class Char:
+    """A Scheme character literal such as ``#\\a``."""
+
+    __slots__ = ("value",)
+
+    def __init__(self, value: str):
+        if len(value) != 1:
+            raise ValueError(f"Char must wrap a single character, got {value!r}")
+        self.value = value
+
+    @staticmethod
+    def named(name: str) -> "Char":
+        if len(name) == 1:
+            return Char(name)
+        if name in _CHAR_NAMES:
+            return Char(_CHAR_NAMES[name])
+        raise ValueError(f"unknown character name: #\\{name}")
+
+    def external_name(self) -> str:
+        return _CHAR_NAMES_REV.get(self.value, self.value)
+
+    def __repr__(self) -> str:
+        return f"#\\{self.external_name()}"
+
+    def __hash__(self) -> int:
+        return hash(("char", self.value))
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, Char) and other.value == self.value
+
+
+class Dotted:
+    """An improper list ``(a b . c)``: ``items`` then a non-list ``tail``."""
+
+    __slots__ = ("items", "tail")
+
+    def __init__(self, items: Tuple, tail: object):
+        self.items = tuple(items)
+        self.tail = tail
+
+    def __repr__(self) -> str:
+        inner = " ".join(repr(x) for x in self.items)
+        return f"({inner} . {self.tail!r})"
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, Dotted)
+            and other.items == self.items
+            and other.tail == self.tail
+        )
+
+    def __hash__(self) -> int:
+        return hash(("dotted", self.items, self.tail))
+
+
+# Well-known symbols used by the reader's quote sugar and the expander.
+S_QUOTE = intern("quote")
+S_QUASIQUOTE = intern("quasiquote")
+S_UNQUOTE = intern("unquote")
+S_UNQUOTE_SPLICING = intern("unquote-splicing")

@@ -1,0 +1,30 @@
+"""Datum printer: the inverse of the reader, used for error messages,
+quoted-constant display, and reader round-trip tests."""
+
+from __future__ import annotations
+
+from repro.sexp.datum import Char, Dotted, Symbol
+
+
+def write_datum(datum) -> str:
+    """Render a datum in external (re-readable) form."""
+    if datum is True:
+        return "#t"
+    if datum is False:
+        return "#f"
+    if isinstance(datum, Symbol):
+        return datum.name
+    if isinstance(datum, (int, float)):
+        return repr(datum)
+    if isinstance(datum, str):
+        escaped = datum.replace("\\", "\\\\").replace('"', '\\"')
+        escaped = escaped.replace("\n", "\\n").replace("\t", "\\t")
+        return f'"{escaped}"'
+    if isinstance(datum, Char):
+        return f"#\\{datum.external_name()}"
+    if isinstance(datum, list):
+        return "(" + " ".join(write_datum(x) for x in datum) + ")"
+    if isinstance(datum, Dotted):
+        inner = " ".join(write_datum(x) for x in datum.items)
+        return f"({inner} . {write_datum(datum.tail)})"
+    raise TypeError(f"not a datum: {datum!r}")

@@ -1,0 +1,16 @@
+"""A small, self-contained decision procedure for linear integer
+arithmetic, used by the symbolic executor (§4) to discharge path-condition
+entailments such as ``m ≥ 0 ∧ m ≠ 0 ⊨ |m−1| < |m|``.
+
+Scope (deliberate): conjunctions of linear constraints over ℤ, decided by
+Fourier–Motzkin elimination with integer tightening, plus bounded
+case-splitting on disequalities.  Non-linear terms (products of variables,
+``quotient``, ``modulo``) are *uninterpreted* — this matches the rows of
+Table 1 the paper's static checker could not verify (``lh-gcd``,
+``isabelle-f`` ...).
+"""
+
+from repro.solver.linear import Atom, LinExpr, eq, ge, gt, le, lt, ne
+from repro.solver.interface import Solver
+
+__all__ = ["LinExpr", "Atom", "le", "lt", "ge", "gt", "eq", "ne", "Solver"]

@@ -1,0 +1,138 @@
+"""Fourier–Motzkin elimination over ℤ with integer tightening.
+
+``unsat(atoms)`` returns ``True`` only when the conjunction is definitely
+unsatisfiable over the integers:
+
+* rational FM refutation is sound for ℤ (ℤ-solutions ⊆ ℚ-solutions);
+* integer tightening (dividing by the coefficient gcd and flooring the
+  constant) recovers the standard integer facts, e.g. ``x ≥ 0 ∧ x ≠ 0``
+  tightens through the ``x ≤ -1 ∨ x ≥ 1`` split to ``x ≥ 1``;
+* disequalities are handled by a bounded case split.
+
+``unsat`` may answer ``False`` for genuinely unsatisfiable systems that
+exceed its budgets — the verifier then simply fails to prove an arc, which
+is the conservative direction.
+"""
+
+from __future__ import annotations
+
+from math import gcd
+from typing import List, Optional, Set, Tuple
+
+from repro.solver.linear import Atom, EQ, LE, NE, LinExpr
+
+_MAX_INEQS = 600
+_MAX_NE_SPLITS = 5
+
+
+def _tighten(expr: LinExpr) -> LinExpr:
+    """Integer-tighten ``expr ≤ 0``: with ``expr = g·e' + c`` (g = gcd of
+    the coefficients), ``e' ≤ -c/g`` and e' integral give
+    ``e' ≤ ⌊-c/g⌋``, i.e. ``e' - ⌊-c/g⌋ ≤ 0``."""
+    if not expr.coeffs:
+        return expr
+    g = 0
+    for c in expr.coeffs.values():
+        g = gcd(g, abs(c))
+    if g > 1:
+        coeffs = {v: c // g for v, c in expr.coeffs.items()}
+        const = -((-expr.const) // g)  # -floor(-c/g), floor via // on ints
+        return LinExpr(coeffs, const)
+    return expr
+
+
+def _is_trivially_true(expr: LinExpr) -> bool:
+    return not expr.coeffs and expr.const <= 0
+
+
+def _is_trivially_false(expr: LinExpr) -> bool:
+    return not expr.coeffs and expr.const > 0
+
+
+def _expand_eqs(atoms: Tuple[Atom, ...]) -> Optional[Tuple[List[LinExpr], List[LinExpr]]]:
+    """Split into (inequalities ``e ≤ 0``, disequalities ``e ≠ 0``);
+    equalities become two inequalities.  Returns None on a constant
+    contradiction."""
+    ineqs: List[LinExpr] = []
+    disz: List[LinExpr] = []
+    for atom in atoms:
+        if atom.op == LE:
+            ineqs.append(atom.expr)
+        elif atom.op == EQ:
+            ineqs.append(atom.expr)
+            ineqs.append(atom.expr.scale(-1))
+        else:
+            if atom.expr.is_constant():
+                if atom.expr.const == 0:
+                    return None
+            else:
+                disz.append(atom.expr)
+    return ineqs, disz
+
+
+def _fm_unsat(ineqs: List[LinExpr]) -> bool:
+    """Definitely-unsat check for a pure conjunction of ``e ≤ 0``."""
+    work: Set[LinExpr] = set()
+    for e in ineqs:
+        t = _tighten(e)
+        if _is_trivially_false(t):
+            return True
+        if not _is_trivially_true(t):
+            work.add(t)
+
+    while work:
+        if len(work) > _MAX_INEQS:
+            return False  # give up (conservative)
+        # Pick the variable with the fewest pairings.
+        occurrences = {}
+        for e in work:
+            for v in e.coeffs:
+                occurrences.setdefault(v, [0, 0])
+                if e.coeffs[v] > 0:
+                    occurrences[v][0] += 1
+                else:
+                    occurrences[v][1] += 1
+        if not occurrences:
+            return any(_is_trivially_false(e) for e in work)
+        var = min(occurrences, key=lambda v: occurrences[v][0] * occurrences[v][1])
+        uppers = [e for e in work if e.coeffs.get(var, 0) > 0]
+        lowers = [e for e in work if e.coeffs.get(var, 0) < 0]
+        others = [e for e in work if var not in e.coeffs]
+        new_work: Set[LinExpr] = set()
+        for e in others:
+            new_work.add(e)
+        for up in uppers:  # a·x + r ≤ 0, a > 0
+            a = up.coeffs[var]
+            for lo in lowers:  # -b·x + s ≤ 0, b > 0
+                b = -lo.coeffs[var]
+                combined = up.scale(b) + lo.scale(a)
+                t = _tighten(combined)
+                if _is_trivially_false(t):
+                    return True
+                if not _is_trivially_true(t):
+                    new_work.add(t)
+        work = new_work
+        if not work:
+            return False
+    return False
+
+
+def unsat(atoms: Tuple[Atom, ...], _splits: int = _MAX_NE_SPLITS) -> bool:
+    """True only if the conjunction is definitely unsatisfiable over ℤ."""
+    expanded = _expand_eqs(atoms)
+    if expanded is None:
+        return True
+    ineqs, disz = expanded
+    if not disz:
+        return _fm_unsat(ineqs)
+    if _splits <= 0:
+        # Too many disequalities: drop them (weaker system, still sound).
+        return _fm_unsat(ineqs)
+    head, rest = disz[0], disz[1:]
+    rest_atoms = tuple(Atom(NE, e) for e in rest) + tuple(
+        Atom(LE, e) for e in ineqs
+    )
+    # e ≠ 0  ⇔  e ≤ -1 ∨ e ≥ 1
+    lo = rest_atoms + (Atom(LE, head.plus_const(1)),)
+    hi = rest_atoms + (Atom(LE, head.scale(-1).plus_const(1)),)
+    return unsat(lo, _splits - 1) and unsat(hi, _splits - 1)

@@ -1,0 +1,37 @@
+"""The solver facade: entailment and satisfiability with memoization.
+
+Queries arrive as (facts, goal) pairs; entailment is refutation —
+``facts ∧ ¬goal`` must be unsatisfiable.  Because ``¬goal`` can be a
+disjunction (for equalities), each disjunct must be refuted.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Tuple
+
+from repro.solver.fm import unsat
+from repro.solver.linear import Atom
+
+
+class Solver:
+    def __init__(self):
+        self._unsat_cache: Dict[FrozenSet[Atom], bool] = {}
+        self.queries = 0
+
+    def _unsat(self, atoms: Tuple[Atom, ...]) -> bool:
+        key = frozenset(atoms)
+        hit = self._unsat_cache.get(key)
+        if hit is not None:
+            return hit
+        self.queries += 1
+        result = unsat(tuple(key))
+        self._unsat_cache[key] = result
+        return result
+
+    def entails(self, facts: Tuple[Atom, ...], goal: Atom) -> bool:
+        """``facts ⊨ goal`` (conservative: False when unknown)."""
+        return all(self._unsat(facts + (d,)) for d in goal.negate())
+
+    def satisfiable(self, facts: Tuple[Atom, ...]) -> bool:
+        """Conservative satisfiability: True unless definitely unsat."""
+        return not self._unsat(facts)

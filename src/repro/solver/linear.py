@@ -1,0 +1,133 @@
+"""Linear terms and atoms over integer variables.
+
+A :class:`LinExpr` is ``Σ cᵢ·xᵢ + c`` with integer coefficients, stored as
+a coefficient map.  An :class:`Atom` is a normalized constraint:
+
+* ``LE``: ``e ≤ 0``
+* ``EQ``: ``e = 0``
+* ``NE``: ``e ≠ 0``
+
+Strict integer inequalities normalize away: ``e < 0  ⇝  e + 1 ≤ 0``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Tuple
+
+LE = "<="
+EQ = "=="
+NE = "!="
+
+
+class LinExpr:
+    """An immutable linear expression with integer coefficients."""
+
+    __slots__ = ("coeffs", "const", "_hash")
+
+    def __init__(self, coeffs: Dict[str, int] = None, const: int = 0):
+        cleaned = {}
+        if coeffs:
+            for var, c in coeffs.items():
+                if c != 0:
+                    cleaned[var] = c
+        self.coeffs: Dict[str, int] = cleaned
+        self.const = const
+        self._hash = hash((tuple(sorted(cleaned.items())), const))
+
+    @staticmethod
+    def constant(c: int) -> "LinExpr":
+        return LinExpr({}, c)
+
+    @staticmethod
+    def var(name: str) -> "LinExpr":
+        return LinExpr({name: 1}, 0)
+
+    def is_constant(self) -> bool:
+        return not self.coeffs
+
+    def __add__(self, other: "LinExpr") -> "LinExpr":
+        coeffs = dict(self.coeffs)
+        for var, c in other.coeffs.items():
+            coeffs[var] = coeffs.get(var, 0) + c
+        return LinExpr(coeffs, self.const + other.const)
+
+    def __sub__(self, other: "LinExpr") -> "LinExpr":
+        return self + other.scale(-1)
+
+    def scale(self, k: int) -> "LinExpr":
+        return LinExpr({v: c * k for v, c in self.coeffs.items()}, self.const * k)
+
+    def plus_const(self, k: int) -> "LinExpr":
+        return LinExpr(self.coeffs, self.const + k)
+
+    def variables(self) -> Iterable[str]:
+        return self.coeffs.keys()
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, LinExpr)
+            and other.coeffs == self.coeffs
+            and other.const == self.const
+        )
+
+    def __hash__(self) -> int:
+        return self._hash
+
+    def __repr__(self) -> str:
+        parts = [f"{c}*{v}" for v, c in sorted(self.coeffs.items())]
+        parts.append(str(self.const))
+        return " + ".join(parts)
+
+
+class Atom:
+    """A normalized linear constraint ``expr (≤|=|≠) 0``."""
+
+    __slots__ = ("op", "expr", "_hash")
+
+    def __init__(self, op: str, expr: LinExpr):
+        self.op = op
+        self.expr = expr
+        self._hash = hash((op, expr))
+
+    def negate(self) -> Tuple["Atom", ...]:
+        """The negation as a disjunction of atoms (integer semantics)."""
+        if self.op == LE:  # ¬(e ≤ 0) ⇔ e ≥ 1 ⇔ -e + 1 ≤ 0
+            return (Atom(LE, self.expr.scale(-1).plus_const(1)),)
+        if self.op == EQ:
+            return (Atom(NE, self.expr),)
+        return (Atom(EQ, self.expr),)
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, Atom) and other.op == self.op and other.expr == self.expr
+
+    def __hash__(self) -> int:
+        return self._hash
+
+    def __repr__(self) -> str:
+        return f"({self.expr!r} {self.op} 0)"
+
+
+def le(a: LinExpr, b: LinExpr) -> Atom:
+    """a ≤ b"""
+    return Atom(LE, a - b)
+
+
+def lt(a: LinExpr, b: LinExpr) -> Atom:
+    """a < b  (integers: a ≤ b - 1)"""
+    return Atom(LE, (a - b).plus_const(1))
+
+
+def ge(a: LinExpr, b: LinExpr) -> Atom:
+    return le(b, a)
+
+
+def gt(a: LinExpr, b: LinExpr) -> Atom:
+    return lt(b, a)
+
+
+def eq(a: LinExpr, b: LinExpr) -> Atom:
+    return Atom(EQ, a - b)
+
+
+def ne(a: LinExpr, b: LinExpr) -> Atom:
+    return Atom(NE, a - b)

@@ -1,0 +1,24 @@
+"""Higher-order symbolic execution for static termination checking (§4).
+
+The engine extends the operational semantics with symbolic values and path
+conditions (Fig. 8), explores each reachable function body once per entry
+abstraction, and — at every closure call — records a size-change graph edge
+whose arcs are *proved* by the solver under the current path condition.
+Phase 2 (:mod:`repro.analysis.ljb`) closes the resulting multigraph under
+composition and checks the size-change principle, exactly as in §4.2.
+"""
+
+from repro.symbolic.values import SExpr, STest, SVar, fresh_name
+from repro.symbolic.pathcond import PathCond
+from repro.symbolic.verify import Verdict, verify_program, verify_source
+
+__all__ = [
+    "SVar",
+    "SExpr",
+    "STest",
+    "fresh_name",
+    "PathCond",
+    "Verdict",
+    "verify_program",
+    "verify_source",
+]

@@ -1,0 +1,117 @@
+"""Proving size-change arcs between symbolic values (§4.1).
+
+``relate(old, new, pc, solver)`` decides how a callee argument (``new``)
+relates to a caller entry value (``old``) under the path condition:
+
+* strict (``↓``) when the solver proves ``|new| < |old|`` (with sign
+  analysis to eliminate the absolute values, as in §4.2) or when ``new`` is
+  a proved substructure of ``old``;
+* weak (``↓=``) when the values are identical or proved equal;
+* no arc otherwise — always the safe default (omitting arcs only loses
+  evidence, §2.1).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.sct.order import DESC, EQ, NONE, SizeOrder
+from repro.solver.interface import Solver
+from repro.solver.linear import LinExpr, eq as eq_atom, ge, lt
+from repro.symbolic.pathcond import K_INT, K_NIL, K_PAIR, PathCond
+from repro.symbolic.values import SExpr, STest, SVar, is_symbolic
+from repro.values.values import NIL, Closure, Pair, Prim
+
+_ZERO = LinExpr.constant(0)
+_CONCRETE_ORDER = SizeOrder()
+
+
+def as_linexpr(v, pc: PathCond) -> Optional[LinExpr]:
+    """View ``v`` as an integer term if its kind allows it."""
+    if type(v) is int:
+        return LinExpr.constant(v)
+    if type(v) is SExpr:
+        return v.expr
+    if type(v) is SVar:
+        kind = pc.kind_of(v.name)
+        if kind in (None, K_INT):
+            return LinExpr.var(v.name)
+    return None
+
+
+def _nonneg_form(e: LinExpr, pc: PathCond, solver: Solver) -> Optional[LinExpr]:
+    """Return a term provably equal to ``|e|``, or None if the sign is
+    unknown."""
+    if pc.entails(solver, ge(e, _ZERO)):
+        return e
+    if pc.entails(solver, ge(_ZERO, e)):
+        return e.scale(-1)
+    return None
+
+
+def _pair_root(v, pc: PathCond) -> Optional[str]:
+    """The heap node name of ``v`` when it denotes a symbolic pair."""
+    if type(v) is SVar and pc.kind_of(v.name) in (K_PAIR, None):
+        return v.name
+    return None
+
+
+def relate(old, new, pc: PathCond, solver: Solver) -> int:
+    """DESC / EQ / NONE for (old → new), mirroring ``order.compare``."""
+    # Identity & concrete fast paths.
+    if new is old:
+        return EQ
+    if not is_symbolic(old) and not is_symbolic(new) and _is_ground(old) and _is_ground(new):
+        return _CONCRETE_ORDER.compare(old, new)
+    if isinstance(old, (Closure, Prim)) or isinstance(new, (Closure, Prim)):
+        return EQ if new is old else NONE
+
+    # Substructure descent on symbolic pairs.
+    old_node = _pair_root(old, pc) if type(old) is SVar else None
+    if old_node is not None and pc.kind_of(old_node) == K_PAIR:
+        if new is NIL:
+            return DESC  # size(nil) = 0 < size(pair)
+        if type(new) is SVar:
+            if pc.kind_of(new.name) == K_NIL:
+                return DESC
+            if pc.descends_to(new.name, old_node):
+                return DESC
+        if type(new) is SExpr:
+            names = list(new.expr.variables())
+            if (
+                len(names) == 1
+                and not new.expr.const
+                and new.expr.coeffs[names[0]] == 1
+                and pc.descends_to(names[0], old_node)
+            ):
+                return DESC
+
+    # Integer reasoning with |·| elimination.
+    old_e = as_linexpr(old, pc)
+    new_e = as_linexpr(new, pc)
+    if old_e is not None and new_e is not None:
+        if old_e == new_e or pc.entails(solver, eq_atom(new_e, old_e)):
+            return EQ
+        old_abs = _nonneg_form(old_e, pc, solver)
+        new_abs = _nonneg_form(new_e, pc, solver)
+        if old_abs is not None and new_abs is not None:
+            if pc.entails(solver, lt(new_abs, old_abs)):
+                return DESC
+        return NONE
+
+    # Same symbolic variable handled by identity above; different unknowns
+    # are incomparable.
+    return NONE
+
+
+def _is_ground(v) -> bool:
+    """True when no symbolic value occurs inside ``v``."""
+    stack = [v]
+    while stack:
+        x = stack.pop()
+        if is_symbolic(x):
+            return False
+        if type(x) is Pair:
+            stack.append(x.car)
+            stack.append(x.cdr)
+    return True

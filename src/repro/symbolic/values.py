@@ -1,0 +1,66 @@
+"""Symbolic values (paper Fig. 8: ``s ::= x | b | (o s⃗)``).
+
+* :class:`SVar` — an opaque unknown.  Its *kind* (int / pair / nil / fun)
+  lives in the path condition, not the value, because refinements are
+  per-path.  Its *origin* distinguishes opponent-supplied unknowns (entry
+  arguments and values derived from them — applying such a function is the
+  opponent's obligation, per soft-contract blame semantics) from values the
+  analysis itself lost (summarized call results, havocked state); applying
+  a *lost* function makes the verdict UNKNOWN.
+* :class:`SExpr` — an integer-valued affine term over symbolic variables.
+* :class:`STest` — a symbolic boolean carrying the solver atom it denotes.
+"""
+
+from __future__ import annotations
+
+import itertools
+
+from repro.solver.linear import Atom, LinExpr
+
+OPPONENT = "opponent"
+LOST = "lost"
+
+_counter = itertools.count()
+
+
+def fresh_name(prefix: str = "s") -> str:
+    return f"{prefix}.{next(_counter)}"
+
+
+class SVar:
+    __slots__ = ("name", "origin")
+
+    def __init__(self, name: str = None, origin: str = OPPONENT):
+        self.name = name if name is not None else fresh_name()
+        self.origin = origin
+
+    def __repr__(self) -> str:
+        return f"?{self.name}"
+
+
+class SExpr:
+    """An integer-valued symbolic term."""
+
+    __slots__ = ("expr",)
+
+    def __init__(self, expr: LinExpr):
+        self.expr = expr
+
+    def __repr__(self) -> str:
+        return f"#[{self.expr!r}]"
+
+
+class STest:
+    """A symbolic boolean: the truth of ``atom``."""
+
+    __slots__ = ("atom",)
+
+    def __init__(self, atom: Atom):
+        self.atom = atom
+
+    def __repr__(self) -> str:
+        return f"?bool{self.atom!r}"
+
+
+def is_symbolic(v) -> bool:
+    return type(v) in (SVar, SExpr, STest)

@@ -1,0 +1,130 @@
+"""The static termination verifier (§4): symbolic execution + LJB phase 2.
+
+``verify_program(program, entry, kinds)`` answers:
+
+* ``VERIFIED`` — every reachable closure maintains the size-change
+  property on all symbolic paths, with nothing havocked along the way that
+  could hide a loop: calls to this entry (satisfying the preconditions)
+  terminate.
+* ``UNKNOWN`` — either the collected graphs violate the SCP (with a
+  witness: the idempotent, descent-free composition), or the analysis was
+  incomplete (lost function values were applied, budgets ran out, ...).
+
+Note the asymmetry, inherited from the paper: the verifier never claims
+nontermination — a dynamic run decides that (§5.1.2).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from repro.analysis.anchors import explain_termination
+from repro.analysis.ljb import scp_check  # noqa: F401  (re-export; reference impl)
+from repro.analysis.witness import scp_check_with_witness
+from repro.lang.parser import parse_program
+from repro.lang.program import Program
+from repro.sexp.datum import intern
+from repro.symbolic.engine import Budget, Engine
+from repro.values.values import Closure
+
+
+class Verdict:
+    VERIFIED = "verified"
+    UNKNOWN = "unknown"
+
+    def __init__(self, status: str, reasons: List[str], engine: Optional[Engine] = None,
+                 witness=None, witness_function: Optional[str] = None,
+                 witness_path: Optional[str] = None,
+                 explanation: Optional[List[str]] = None):
+        self.status = status
+        self.reasons = reasons
+        self.engine = engine
+        self.witness = witness
+        self.witness_function = witness_function
+        # Rendered multipath "f →{g}→ h →{g'}→ f" whose composition is the
+        # witness graph (see repro.analysis.witness).
+        self.witness_path = witness_path
+        # Positive certificate for VERIFIED verdicts: per-function anchor
+        # lines from repro.analysis.anchors.
+        self.explanation = explanation or []
+
+    @property
+    def verified(self) -> bool:
+        return self.status == Verdict.VERIFIED
+
+    def render(self) -> str:
+        lines = [f"verdict: {self.status}"]
+        for r in self.reasons:
+            lines.append(f"  - {r}")
+        if self.witness is not None:
+            fn = self.witness_function or "?"
+            names = None
+            if self.engine is not None:
+                for label, nm in self.engine.label_names.items():
+                    if nm == fn:
+                        names = self.engine.label_params.get(label)
+            lines.append(
+                f"  - witness: {fn} admits the idempotent, descent-free "
+                f"composition {self.witness.pretty(names)}"
+            )
+        if self.witness_path:
+            lines.append(f"  - along the call path: {self.witness_path}")
+        for line in self.explanation:
+            lines.append(f"  - {line}")
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:
+        return f"Verdict({self.status})"
+
+
+def verify_program(
+    program: Program,
+    entry: str,
+    kinds: Sequence[str],
+    budget: Optional[Budget] = None,
+    result_kinds=None,
+) -> Verdict:
+    engine = Engine(program, budget=budget, result_kinds=result_kinds)
+    entry_value = engine.globals.bindings.get(intern(entry))
+    if not isinstance(entry_value, Closure):
+        return Verdict(
+            Verdict.UNKNOWN,
+            [f"entry {entry!r} is not a statically known closure "
+             f"(got {type(entry_value).__name__})"],
+            engine,
+        )
+    if len(kinds) != len(entry_value.lam.params):
+        return Verdict(
+            Verdict.UNKNOWN,
+            [f"entry {entry!r} expects {len(entry_value.lam.params)} "
+             f"arguments, {len(kinds)} preconditions given"],
+            engine,
+        )
+    engine.run(entry_value, list(kinds))
+
+    scp = scp_check_with_witness(engine.edges)
+    reasons: List[str] = []
+    if scp.ok is False:
+        fn = engine.label_names.get(scp.witness_label, f"λ{scp.witness_label}")
+        reasons.append(
+            f"size-change principle fails at {fn}: no composition of the "
+            "collected graphs guarantees descent"
+        )
+        path = scp.render_path(engine.label_names, engine.label_params)
+        return Verdict(Verdict.UNKNOWN, reasons + engine.incomplete, engine,
+                       witness=scp.witness_graph, witness_function=fn,
+                       witness_path=path)
+    if scp.ok is None:
+        reasons.append("graph-closure budget exceeded")
+    reasons.extend(engine.incomplete)
+    if reasons:
+        return Verdict(Verdict.UNKNOWN, reasons, engine)
+    explanation = explain_termination(engine.edges, engine.label_names,
+                                      engine.label_params)
+    return Verdict(Verdict.VERIFIED, [], engine, explanation=explanation)
+
+
+def verify_source(text: str, entry: str, kinds: Sequence[str],
+                  budget: Optional[Budget] = None, result_kinds=None) -> Verdict:
+    return verify_program(parse_program(text), entry, kinds, budget=budget,
+                          result_kinds=result_kinds)

@@ -1,0 +1,84 @@
+"""Environments: chained mutable ribs plus a global frame.
+
+Frames are mutable dictionaries so ``set!`` and ``letrec`` back-patching
+work with ordinary Scheme semantics; closures capture the frame by
+reference.  Lookup walks the (usually short) chain of ribs and falls through
+to the global frame.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Optional
+
+from repro.sexp.datum import Symbol
+
+
+class UnboundVariable(Exception):
+    """A reference to a variable with no binding (a run-time error)."""
+
+    def __init__(self, name: Symbol):
+        super().__init__(f"unbound variable: {name.name}")
+        self.name = name
+
+
+class GlobalEnv:
+    """The top-level frame: primitives, prelude closures, and defines."""
+
+    __slots__ = ("bindings",)
+
+    def __init__(self, bindings: Optional[Dict[Symbol, object]] = None):
+        self.bindings = dict(bindings) if bindings else {}
+
+    def lookup(self, name: Symbol):
+        try:
+            return self.bindings[name]
+        except KeyError:
+            raise UnboundVariable(name) from None
+
+    def define(self, name: Symbol, value) -> None:
+        self.bindings[name] = value
+
+    def set(self, name: Symbol, value) -> None:
+        if name not in self.bindings:
+            raise UnboundVariable(name)
+        self.bindings[name] = value
+
+    def snapshot(self) -> "GlobalEnv":
+        """A shallow copy, so one program run cannot pollute another."""
+        return GlobalEnv(self.bindings)
+
+
+class Env:
+    """A local rib chained to a parent :class:`Env` or :class:`GlobalEnv`."""
+
+    __slots__ = ("bindings", "parent")
+
+    def __init__(self, bindings: Dict[Symbol, object], parent):
+        self.bindings = bindings
+        self.parent = parent
+
+    @staticmethod
+    def extend(parent, names: Iterable[Symbol], values: Iterable[object]) -> "Env":
+        return Env(dict(zip(names, values)), parent)
+
+    def lookup(self, name: Symbol):
+        env = self
+        while type(env) is Env:
+            bindings = env.bindings
+            if name in bindings:
+                return bindings[name]
+            env = env.parent
+        return env.lookup(name)
+
+    def set(self, name: Symbol, value) -> None:
+        env = self
+        while type(env) is Env:
+            if name in env.bindings:
+                env.bindings[name] = value
+                return
+            env = env.parent
+        env.set(name, value)
+
+    def define(self, name: Symbol, value) -> None:
+        """Bind in this rib (used by ``letrec`` initialization)."""
+        self.bindings[name] = value

@@ -1,0 +1,95 @@
+"""``eqv?`` / ``equal?`` and structural hashing for runtime values.
+
+``equal?`` drives two load-bearing pieces of the system: the ``→=`` arcs of
+size-change graphs (an arc ``i →= j`` is recorded when the j-th new argument
+is *equal* to the i-th old one, Fig. 4) and hash-map keying.  Pairs carry
+memoized sizes and hashes, so non-equal structures are almost always
+rejected in O(1).
+"""
+
+from __future__ import annotations
+
+from repro.sexp.datum import Char, Symbol
+from repro.values.values import NIL, HashValue, Pair
+
+
+def scheme_eqv(a, b) -> bool:
+    """``eqv?``: identity, except numbers/chars/booleans compare by value.
+
+    Note ``bool`` is checked before ``int`` because Python booleans are
+    integers; ``(eqv? #t 1)`` must be false.
+    """
+    if a is b:
+        return True
+    ta, tb = type(a), type(b)
+    if ta is not tb:
+        return False
+    if ta is bool:
+        return a == b
+    if ta is int or ta is float:
+        return a == b
+    if ta is Char:
+        return a.value == b.value
+    if ta is Symbol:
+        return a.name == b.name
+    return False
+
+
+def scheme_equal(a, b) -> bool:
+    """``equal?``: structural equality, iterative on the cdr spine."""
+    while True:
+        if a is b:
+            return True
+        ta, tb = type(a), type(b)
+        if ta is Pair and tb is Pair:
+            if a.size != b.size or a.hash != b.hash:
+                return False
+            if not scheme_equal(a.car, b.car):
+                return False
+            a, b = a.cdr, b.cdr
+            continue
+        if ta is not tb:
+            return False
+        if ta is str:
+            return a == b
+        if ta is HashValue:
+            return _hash_equal(a, b)
+        return scheme_eqv(a, b)
+
+
+def _hash_equal(a: HashValue, b: HashValue) -> bool:
+    if a.count() != b.count() or a.hash_code != b.hash_code:
+        return False
+    sentinel = object()
+    for key, val in a.table.items():
+        other = b.table.get(key, sentinel)
+        if other is sentinel or not scheme_equal(val, other):
+            return False
+    return True
+
+
+def value_hash(v) -> int:
+    """A structural hash consistent with :func:`scheme_equal`.
+
+    Closures hash by identity (our ``equal?`` on closures is identity); the
+    monitor's optional structural-hash keying mode uses the closure's λ
+    label instead (see :mod:`repro.sct.monitor`).
+    """
+    t = type(v)
+    if t is Pair:
+        return v.hash
+    if t is HashValue:
+        return v.hash_code
+    if t is bool:
+        return 7 if v else 11
+    if t is int:
+        return hash(v)
+    if t is Symbol:
+        return hash(v.name)
+    if t is str:
+        return hash(v)
+    if t is Char:
+        return hash(("char", v.value))
+    if v is NIL:
+        return 23
+    return id(v)

@@ -1,0 +1,343 @@
+"""Value representation for the embedded language.
+
+Values (paper Fig. 3): primitives, integers, pairs, and closures — extended
+here with booleans, symbols, characters, strings, immutable hash maps
+(needed by the Fig. 2 lambda-calculus compiler), boxes, and void.
+
+Two design points matter for the reproduction:
+
+* **Pairs are immutable and memoize their size and structural hash.**  The
+  default well-founded order compares values by size (see
+  :mod:`repro.sct.order`); memoizing ``size`` at construction makes each
+  size-change arc test O(1) instead of O(n), and the memoized hash lets
+  ``equal?`` reject almost all non-equal pairs without deep traversal.
+* **Closures are compared by identity.**  The paper hashes closures; we key
+  tables by object identity (exact, per Lemma A.1) with structural hashing
+  available as an option in the monitor.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional, Tuple
+
+from repro.ds.hamt import Hamt
+from repro.sexp.datum import Char, Dotted, Symbol
+
+
+class Nil:
+    """The empty list (a singleton: use :data:`NIL`)."""
+
+    __slots__ = ()
+
+    def __repr__(self) -> str:
+        return "'()"
+
+
+NIL = Nil()
+
+
+class Void:
+    """The result of side-effecting forms (a singleton: use :data:`VOID`)."""
+
+    __slots__ = ()
+
+    def __repr__(self) -> str:
+        return "#<void>"
+
+
+VOID = Void()
+
+
+def _value_size(v) -> int:
+    """Well-founded size measure; see :func:`size_of` for the contract."""
+    if type(v) is int:
+        return abs(v)
+    if type(v) is Pair:
+        return v.size
+    if type(v) is str:
+        return len(v)
+    if v is NIL:
+        return 0
+    if type(v) is HashValue:
+        return v.size
+    return 1
+
+
+def _value_hash(v) -> int:
+    if type(v) is Pair:
+        return v.hash
+    if type(v) is HashValue:
+        return v.hash_code
+    try:
+        return hash(v)
+    except TypeError:
+        return id(v)
+
+
+class Pair:
+    """An immutable cons cell with memoized size and structural hash."""
+
+    __slots__ = ("car", "cdr", "size", "hash")
+
+    def __init__(self, car, cdr):
+        self.car = car
+        self.cdr = cdr
+        self.size = 1 + _value_size(car) + _value_size(cdr)
+        self.hash = (_value_hash(car) * 1000003 ^ _value_hash(cdr)) & 0x7FFFFFFF
+
+    def __repr__(self) -> str:
+        return write_value(self)
+
+
+def cons(car, cdr) -> Pair:
+    return Pair(car, cdr)
+
+
+class Closure:
+    """A closure ``(x⃗, e, ρ)``.  ``lam`` is the source λ node (its ``label``
+    identifies the syntactic λ form for hashing and loop-entry analysis)."""
+
+    __slots__ = ("lam", "env", "name")
+
+    def __init__(self, lam, env, name: Optional[str] = None):
+        self.lam = lam
+        self.env = env
+        self.name = name or lam.name
+
+    @property
+    def params(self) -> Tuple[Symbol, ...]:
+        return self.lam.params
+
+    def describe(self) -> str:
+        return self.name or f"λ@{self.lam.loc}"
+
+    def __repr__(self) -> str:
+        return f"#<procedure:{self.describe()}>"
+
+
+class Prim:
+    """A primitive operation.  All primitives are total on their domain
+    (no primitive may diverge — paper §3.1), so they are never monitored."""
+
+    __slots__ = ("name", "fn", "arity_min", "arity_max")
+
+    _SAME = object()
+
+    def __init__(
+        self,
+        name: str,
+        fn: Callable,
+        arity_min: int,
+        arity_max=_SAME,
+    ):
+        self.name = name
+        self.fn = fn
+        self.arity_min = arity_min
+        # ``arity_max=None`` means variadic; omitted means exactly arity_min.
+        self.arity_max = arity_min if arity_max is Prim._SAME else arity_max
+
+    def accepts(self, n: int) -> bool:
+        if n < self.arity_min:
+            return False
+        return self.arity_max is None or n <= self.arity_max
+
+    def __repr__(self) -> str:
+        return f"#<procedure:{self.name}>"
+
+
+class TermWrapped:
+    """A ``term/c``-guarded closure (paper Fig. 7, value ``term/c(x⃗,e,ρ)``).
+
+    ``blame`` names the party charged when a size-change violation occurs in
+    the dynamic extent of a call to this value (§2.3).
+    """
+
+    __slots__ = ("closure", "blame")
+
+    def __init__(self, closure: Closure, blame):
+        self.closure = closure
+        self.blame = blame
+
+    def __repr__(self) -> str:
+        return f"#<terminating/c {self.closure!r}>"
+
+
+class HashValue:
+    """An immutable hash map value backed by :class:`repro.ds.hamt.Hamt`.
+
+    Keys are compared with ``equal?`` semantics via :class:`HashKey`
+    wrappers so that pairs and symbols key structurally.
+    """
+
+    __slots__ = ("table", "size", "hash_code")
+
+    def __init__(self, table: Hamt):
+        self.table = table
+        size = 1
+        code = 0x5BD1E995
+        for k, v in table.items():
+            size += _value_size(k.value) + _value_size(v)
+            code ^= (k.code * 31 + _value_hash(v)) & 0x7FFFFFFF
+        self.size = size
+        self.hash_code = code & 0x7FFFFFFF
+
+    @staticmethod
+    def empty() -> "HashValue":
+        return _EMPTY_HASH
+
+    def set(self, key, value) -> "HashValue":
+        return HashValue(self.table.set(HashKey(key), value))
+
+    def get(self, key, default):
+        return self.table.get(HashKey(key), default)
+
+    def has_key(self, key) -> bool:
+        return HashKey(key) in self.table
+
+    def count(self) -> int:
+        return len(self.table)
+
+    def __repr__(self) -> str:
+        return write_value(self)
+
+
+class HashKey:
+    """Adapter giving Python hashing/equality the object language's
+    ``equal?`` semantics, so :class:`Hamt` can index hash-map entries."""
+
+    __slots__ = ("value", "code")
+
+    def __init__(self, value):
+        self.value = value
+        self.code = _value_hash(value) & 0x7FFFFFFF
+
+    def __hash__(self) -> int:
+        return self.code
+
+    def __eq__(self, other: object) -> bool:
+        from repro.values.equality import scheme_equal
+
+        return isinstance(other, HashKey) and scheme_equal(self.value, other.value)
+
+
+_EMPTY_HASH = HashValue(Hamt.empty())
+
+
+class Box:
+    """A mutable cell (``box`` / ``unbox`` / ``set-box!``)."""
+
+    __slots__ = ("value",)
+
+    def __init__(self, value):
+        self.value = value
+
+    def __repr__(self) -> str:
+        return f"#&{write_value(self.value)}"
+
+
+def size_of(v) -> Optional[int]:
+    """The default well-founded size of a value, or ``None`` if the value
+    has no well-founded size (floats: ``|x| < |y|`` admits infinite descent).
+
+    Sizes: ``|n|`` for integers, ``1 + size(car) + size(cdr)`` for pairs
+    (memoized), string length, 0 for nil, 1 for atoms/closures/prims.  Any
+    strict decrease of this measure is well-founded, which is all the
+    size-change argument needs.
+    """
+    if type(v) is bool:
+        return 1
+    if type(v) is float:
+        return None
+    return _value_size(v)
+
+
+# -- conversions ------------------------------------------------------------
+
+
+def from_datum(datum):
+    """Convert a quoted datum (reader output, stripped) to a runtime value."""
+    if isinstance(datum, list):
+        acc = NIL
+        for item in reversed(datum):
+            acc = Pair(from_datum(item), acc)
+        return acc
+    if isinstance(datum, Dotted):
+        acc = from_datum(datum.tail)
+        for item in reversed(datum.items):
+            acc = Pair(from_datum(item), acc)
+        return acc
+    return datum  # Symbol, int, float, bool, str, Char are shared
+
+
+def value_to_datum(v):
+    """Inverse of :func:`from_datum` for printable values."""
+    if type(v) is Pair or v is NIL:
+        items = []
+        node = v
+        while type(node) is Pair:
+            items.append(value_to_datum(node.car))
+            node = node.cdr
+        if node is NIL:
+            return items
+        return Dotted(tuple(items), value_to_datum(node))
+    return v
+
+
+def python_to_list(values) -> object:
+    """Build an object-language list from a Python iterable."""
+    acc = NIL
+    for v in reversed(list(values)):
+        acc = Pair(v, acc)
+    return acc
+
+
+def list_to_python(v) -> list:
+    """Flatten a proper object-language list into a Python list."""
+    out = []
+    while type(v) is Pair:
+        out.append(v.car)
+        v = v.cdr
+    if v is not NIL:
+        raise ValueError("improper list")
+    return out
+
+
+def is_list_value(v) -> bool:
+    while type(v) is Pair:
+        v = v.cdr
+    return v is NIL
+
+
+def write_value(v) -> str:
+    """Render a value for display (quote-less external form)."""
+    if v is True:
+        return "#t"
+    if v is False:
+        return "#f"
+    if v is NIL:
+        return "()"
+    if v is VOID:
+        return "#<void>"
+    if type(v) is Pair:
+        parts = []
+        node = v
+        while type(node) is Pair:
+            parts.append(write_value(node.car))
+            node = node.cdr
+        if node is NIL:
+            return "(" + " ".join(parts) + ")"
+        return "(" + " ".join(parts) + " . " + write_value(node) + ")"
+    if isinstance(v, Symbol):
+        return v.name
+    if isinstance(v, str):
+        escaped = v.replace("\\", "\\\\").replace('"', '\\"')
+        return f'"{escaped}"'
+    if isinstance(v, Char):
+        return f"#\\{v.external_name()}"
+    if isinstance(v, HashValue):
+        inner = " ".join(
+            f"({write_value(k.value)} . {write_value(val)})"
+            for k, val in v.table.items()
+        )
+        return f"#hash({inner})"
+    return repr(v)

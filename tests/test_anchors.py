@@ -1,0 +1,108 @@
+"""Positive termination certificates (repro.analysis.anchors)."""
+
+from repro.analysis.anchors import (
+    FunctionAnchors,
+    collect_anchors,
+    explain_termination,
+)
+from repro.sct.graph import SCGraph, arc
+from repro.symbolic.verify import verify_source
+
+
+def edges_of(*pairs):
+    out = {}
+    for edge, graph in pairs:
+        out.setdefault(edge, set()).add(graph)
+    return out
+
+
+class TestCollect:
+    def test_single_descending_loop(self):
+        g = SCGraph([arc(0, "<", 0)])
+        report = collect_anchors(edges_of(((0, 0), g)))
+        assert report is not None
+        assert report[0].anchor_union() == {0}
+        assert report[0].common_anchor() == 0
+
+    def test_failing_scp_gives_no_certificate(self):
+        g = SCGraph([arc(0, "=", 0)])
+        assert collect_anchors(edges_of(((0, 0), g))) is None
+
+    def test_alternating_anchors_have_no_common_one(self):
+        # ack-style: one pattern descends on 0, another on 1 (holding 0).
+        g1 = SCGraph([arc(0, "<", 0)])
+        g2 = SCGraph([arc(0, "=", 0), arc(1, "<", 1)])
+        report = collect_anchors(edges_of(((0, 0), g1), ((0, 0), g2)))
+        assert report is not None
+        anchors = report[0]
+        assert anchors.common_anchor() is None or anchors.common_anchor() == 0
+        assert anchors.anchor_union() >= {0}
+
+    def test_mutual_recursion_certificate_on_composed_cycle(self):
+        fg = SCGraph([arc(0, "=", 0)])
+        gf = SCGraph([arc(0, "<", 0)])
+        report = collect_anchors(edges_of(((0, 1), fg), ((1, 0), gf)))
+        assert report is not None
+        assert 0 in report and 1 in report
+        assert report[0].common_anchor() == 0
+
+    def test_closure_cap_gives_none(self):
+        graphs = edges_of(
+            *[((0, 0), SCGraph([arc(i, "<", j), arc(j, "<", i),
+                                arc(0, "<", 0)]))
+              for i in range(3) for j in range(3)]
+        )
+        assert collect_anchors(graphs, max_graphs=2) is None
+
+    def test_function_anchors_accessors(self):
+        fa = FunctionAnchors(7, [SCGraph([arc(1, "<", 1), arc(0, "=", 0)])])
+        assert fa.all_anchored()
+        assert fa.anchor_union() == {1}
+        assert fa.common_anchor() == 1
+
+
+class TestExplain:
+    def test_named_single_anchor(self):
+        g = SCGraph([arc(0, "<", 0)])
+        lines = explain_termination(edges_of(((3, 3), g)), {3: "rev"},
+                                    {3: ["l", "acc"]})
+        assert lines == ["rev: every repeatable call pattern strictly "
+                         "descends on l"]
+
+    def test_union_phrasing(self):
+        g1 = SCGraph([arc(0, "<", 0), arc(1, "=", 1)])
+        g2 = SCGraph([arc(1, "<", 1), arc(0, "=", 0)])
+        lines = explain_termination(edges_of(((0, 0), g1), ((0, 0), g2)),
+                                    {0: "ack"}, {0: ["m", "n"]})
+        assert any("one of {m, n}" in line for line in lines)
+
+    def test_no_certificate_is_empty(self):
+        g = SCGraph([arc(0, "=", 0)])
+        assert explain_termination(edges_of(((0, 0), g))) == []
+
+
+class TestVerdictIntegration:
+    def test_verified_verdict_carries_explanation(self):
+        v = verify_source(
+            "(define (rev l a) (if (null? l) a (rev (cdr l) (cons (car l) a))))",
+            "rev", ["list", "list"])
+        assert v.verified
+        assert v.explanation
+        assert "descends on l" in v.render()
+
+    def test_ack_explanation_names_both_parameters(self):
+        src = """
+        (define (ack m n)
+          (cond [(= 0 m) (+ 1 n)]
+                [(= 0 n) (ack (- m 1) 1)]
+                [else (ack (- m 1) (ack m (- n 1)))]))
+        """
+        v = verify_source(src, "ack", ["nat", "nat"],
+                          result_kinds={"ack": "nat"})
+        assert v.verified
+        assert any("m" in line and "n" in line for line in v.explanation)
+
+    def test_unknown_verdict_has_no_explanation(self):
+        v = verify_source("(define (f x) (f x))", "f", ["nat"])
+        assert not v.verified
+        assert v.explanation == []

@@ -1,0 +1,108 @@
+"""Benchmark-harness tests: the report machinery and small real runs."""
+
+from repro.bench.divergence import render_divergence, run_divergence
+from repro.bench.fig10 import Fig10Point, render_fig10, run_fig10, summarize_shape
+from repro.bench.report import fmt_factor, fmt_ms, render_table
+from repro.bench.table1 import Table1Row, render_table1
+from repro.corpus.registry import REGISTRY
+
+
+class TestReport:
+    def test_render_table_alignment(self):
+        out = render_table(["a", "bb"], [["x", 1], ["longer", 22]], title="T")
+        lines = out.splitlines()
+        assert lines[0] == "T"
+        assert "longer" in out and "22" in out
+
+    def test_formatters(self):
+        assert fmt_ms(0.0015) == "1.50ms"
+        assert fmt_factor(2.0) == "2.0x"
+
+
+class TestFig10Harness:
+    def test_real_run_single_workload(self):
+        points = run_fig10(scale="quick", repeats=1, workloads=["factorial"])
+        assert len(points) == 3  # three sizes
+        for p in points:
+            assert p.unchecked > 0 and p.cm > 0 and p.imperative > 0
+        rendered = render_fig10(points)
+        assert "factorial" in rendered and "cm-slowdown" in rendered
+
+    def test_shape_summary_flags_misses(self):
+        # Synthetic data violating the tight-loop claim must be reported.
+        pts = [
+            Fig10Point("sum", 10, 1.0, 1.5, 1.2),
+            Fig10Point("factorial", 10, 1.0, 9.0, 8.0),
+        ]
+        summary = summarize_shape(pts)
+        assert "MISS" in summary
+
+    def test_shape_summary_accepts_paper_shape(self):
+        pts = [
+            Fig10Point("sum", 10, 1.0, 80.0, 40.0),
+            Fig10Point("sum", 20, 1.0, 85.0, 42.0),
+            Fig10Point("factorial", 10, 1.0, 1.2, 1.1),
+        ]
+        summary = summarize_shape(pts)
+        assert "MISS" not in summary
+
+
+class TestDivergenceHarness:
+    def test_run_and_render(self):
+        points = run_divergence(standard_budget=100_000)
+        assert all(p.caught for p in points)
+        rendered = render_divergence(points)
+        assert "buggy-nfa" in rendered
+        assert f"{len(points)}/{len(points)} diverging programs stopped" in rendered
+
+
+class TestTable1Render:
+    def test_render_marks_deviations(self):
+        prog = REGISTRY["sct-1"]
+        good = Table1Row(prog, True, "", True)
+        bad = Table1Row(prog, False, "", True)
+        out = render_table1([good, bad])
+        assert "DEVIATES" in out and "yes" in out
+
+    def test_measure_annotation_shown(self):
+        prog = REGISTRY["acl2-fig-2"]
+        row = Table1Row(prog, True, "O", False)
+        out = render_table1([row])
+        assert "YO" in out
+
+
+class TestMCHarness:
+    def test_static_rows_cover_entry_corpus(self):
+        from repro.bench.mc_ablation import run_mc_static
+        from repro.corpus.registry import all_programs
+
+        rows = run_mc_static()
+        with_entry = [p for p in all_programs() if p.entry is not None]
+        assert len(rows) == len(with_entry)
+        by_name = {r.name: r for r in rows}
+        assert by_name["lh-range"].note == "gained by MC"
+        assert not any(r.sc and not r.mc for r in rows), \
+            "MC must subsume SC on every row"
+
+    def test_dynamic_rows_and_render(self):
+        from repro.bench.mc_ablation import (
+            render_mc,
+            run_mc_dynamic,
+            run_mc_static,
+        )
+
+        dynamic = run_mc_dynamic(scale="quick", repeats=1)
+        workloads = {r.workload for r in dynamic}
+        assert workloads == {"sum", "merge-sort", "count-up"}
+        count_up = {r.monitor: r for r in dynamic if r.workload == "count-up"}
+        assert count_up["sc"].outcome == "errorSC"
+        assert count_up["mc"].outcome == "value"
+        out = render_mc(run_mc_static(), dynamic)
+        assert "rows gained by MC: lh-range" in out
+        assert "rows lost by MC:   none" in out
+
+    def test_cli_bench_mc(self, capsys):
+        from repro.cli import main
+
+        assert main(["bench", "mc", "--repeats", "1"]) == 0
+        assert "gained by MC" in capsys.readouterr().out

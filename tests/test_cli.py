@@ -1,0 +1,87 @@
+"""CLI tests: `sized run/verify/bench/corpus` via the entry function."""
+
+import pytest
+
+from repro.cli import main
+
+
+@pytest.fixture()
+def scm(tmp_path):
+    def write(source: str) -> str:
+        path = tmp_path / "prog.scm"
+        path.write_text(source)
+        return str(path)
+
+    return write
+
+
+class TestRun:
+    def test_run_value(self, scm, capsys):
+        path = scm("(+ 1 2)")
+        assert main(["run", path]) == 0
+        assert capsys.readouterr().out.strip() == "3"
+
+    def test_run_displays_output(self, scm, capsys):
+        path = scm('(display "hi") (newline) 42')
+        assert main(["run", path]) == 0
+        out = capsys.readouterr().out
+        assert "hi" in out and "42" in out
+
+    def test_run_full_mode_catches_loop(self, scm, capsys):
+        path = scm("(define (f x) (f x)) (f 1)")
+        assert main(["run", path, "--mode", "full"]) == 3
+        assert "size-change violation" in capsys.readouterr().err
+
+    def test_run_contract_mode_blame(self, scm, capsys):
+        path = scm('(define f (terminating/c (lambda (x) (f x)) "me")) (f 1)')
+        assert main(["run", path]) == 3
+        assert "me" in capsys.readouterr().err
+
+    def test_run_timeout_exit_code(self, scm, capsys):
+        path = scm("(define (f x) (f x)) (f 1)")
+        assert main(["run", path, "--mode", "off", "--max-steps", "5000"]) == 4
+
+    def test_run_rt_error(self, scm, capsys):
+        path = scm("(car 5)")
+        assert main(["run", path]) == 1
+        assert "car" in capsys.readouterr().err
+
+    def test_imperative_strategy(self, scm, capsys):
+        path = scm("(define (c n) (if (zero? n) 'ok (c (- n 1)))) (c 50)")
+        assert main(["run", path, "--mode", "full",
+                     "--strategy", "imperative"]) == 0
+        assert capsys.readouterr().out.strip() == "ok"
+
+
+class TestVerify:
+    def test_verified(self, scm, capsys):
+        path = scm("(define (len l) (if (null? l) 0 (+ 1 (len (cdr l)))))")
+        assert main(["verify", path, "--entry", "len", "--kinds", "list"]) == 0
+        assert "verified" in capsys.readouterr().out
+
+    def test_unknown(self, scm, capsys):
+        path = scm("(define (f x) (f x))")
+        assert main(["verify", path, "--entry", "f", "--kinds", "nat"]) == 3
+        assert "unknown" in capsys.readouterr().out
+
+    def test_result_kind_flag(self, scm, capsys):
+        path = scm("""
+        (define (ack m n)
+          (cond [(= 0 m) (+ 1 n)]
+                [(= 0 n) (ack (- m 1) 1)]
+                [else (ack (- m 1) (ack m (- n 1)))]))
+        """)
+        code = main(["verify", path, "--entry", "ack",
+                     "--kinds", "nat,nat", "--result-kind", "nat"])
+        assert code == 0
+
+
+class TestCorpusListing:
+    def test_corpus(self, capsys):
+        assert main(["corpus"]) == 0
+        out = capsys.readouterr().out
+        assert "sct-3" in out and "scheme" in out
+
+    def test_corpus_diverging(self, capsys):
+        assert main(["corpus", "--diverging"]) == 0
+        assert "buggy-nfa" in capsys.readouterr().out

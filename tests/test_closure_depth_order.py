@@ -1,0 +1,94 @@
+"""The Jones–Bohr closure-depth extension (§2.2 future work)."""
+
+from repro.eval.machine import Answer, run_source
+from repro.sct.monitor import SCMonitor
+from repro.sct.order import DESC, EQ, NONE, ClosureDepthOrder
+
+# peel recurses on a closure "onion": with incomparable closures the
+# monitor must flag it; the depth order proves the descent.
+ONION = """
+(define (make-onion n)
+  (if (zero? n)
+      (lambda () 'core)
+      (let ([inner (make-onion (- n 1))])
+        (lambda () inner))))
+(define (peel f)
+  (let ([inner (f)])
+    (if (procedure? inner) (peel inner) inner)))
+(peel (make-onion 6))
+"""
+
+
+class TestDepthComputation:
+    def _closures(self):
+        from repro.lang.parser import parse_program
+        from repro.eval.machine import make_env, run_program
+
+        src = """
+        (define flat (lambda () 1))
+        (define nested (let ([inner (lambda () 2)]) (lambda () inner)))
+        (list flat nested)
+        """
+        answer = run_source(src)
+        assert answer.kind == Answer.VALUE
+        flat = answer.value.car
+        nested = answer.value.cdr.car
+        return flat, nested
+
+    def test_depths(self):
+        order = ClosureDepthOrder()
+        flat, nested = self._closures()
+        assert order.closure_depth(flat) == 1
+        assert order.closure_depth(nested) == 2
+
+    def test_compare_closures(self):
+        order = ClosureDepthOrder()
+        flat, nested = self._closures()
+        assert order.compare(nested, flat) == DESC
+        assert order.compare(flat, nested) == NONE
+        assert order.compare(flat, flat) == EQ
+
+    def test_falls_back_to_size_for_other_values(self):
+        order = ClosureDepthOrder()
+        assert order.compare(5, 3) == DESC
+        assert order.compare(3, 3) == EQ
+
+    def test_cycles_do_not_hang(self):
+        src = """
+        (define (rec) rec)
+        rec
+        """
+        answer = run_source(src)
+        order = ClosureDepthOrder()
+        assert order.closure_depth(answer.value) >= 1
+
+
+class TestOnionProgram:
+    def test_default_order_flags_the_onion(self):
+        """Closures are incomparable under the default order (the paper's
+        §2.2 choice), so closure-only descent is rejected."""
+        answer = run_source(ONION, mode="full")
+        assert answer.kind == Answer.SC_ERROR
+
+    def test_depth_order_accepts_the_onion(self):
+        monitor = SCMonitor(order=ClosureDepthOrder())
+        answer = run_source(ONION, mode="full", monitor=monitor)
+        assert answer.kind == Answer.VALUE
+        assert answer.value.name == "core"
+
+    def test_depth_order_still_catches_divergence(self):
+        src = """
+        (define (spin f) (spin (lambda () f)))
+        (spin (lambda () 1))
+        """
+        monitor = SCMonitor(order=ClosureDepthOrder())
+        answer = run_source(src, mode="full", monitor=monitor)
+        assert answer.kind == Answer.SC_ERROR  # depth grows, never shrinks
+
+    def test_depth_order_preserves_corpus_soundness(self):
+        from repro.corpus.registry import REGISTRY
+
+        prog = REGISTRY["sct-3"]
+        monitor = SCMonitor(order=ClosureDepthOrder())
+        answer = run_source(prog.source, mode="full", monitor=monitor)
+        assert answer.kind == Answer.VALUE

@@ -1,0 +1,160 @@
+"""Contract combinator tests: blame, arrows, and total correctness."""
+
+import pytest
+
+from repro.contracts import (
+    Blame,
+    ContractViolation,
+    and_c,
+    any_c,
+    arrow,
+    attach,
+    flat,
+    listof,
+    or_c,
+    terminating_c,
+    total,
+)
+from repro.pyterm import SizeChangeError
+
+is_nat = flat(lambda v: isinstance(v, int) and not isinstance(v, bool) and v >= 0, "nat?")
+is_int = flat(lambda v: isinstance(v, int) and not isinstance(v, bool), "int?")
+
+
+class TestFlat:
+    def test_pass(self):
+        assert is_nat.wrap(5, Blame("s", "c")) == 5
+
+    def test_fail_blames_positive(self):
+        with pytest.raises(ContractViolation) as ei:
+            is_nat.wrap(-1, Blame("server", "client"))
+        assert ei.value.party == "server"
+        assert "nat?" in str(ei.value)
+
+    def test_crashing_predicate_blames_positive(self):
+        bad = flat(lambda v: v.nope, "weird?")
+        with pytest.raises(ContractViolation) as ei:
+            bad.wrap(1, Blame("server", "client"))
+        assert ei.value.party == "server"
+
+    def test_any_c(self):
+        assert any_c.wrap(object, Blame("s", "c")) is object
+
+
+class TestCompound:
+    def test_and_all_parts(self):
+        even = flat(lambda v: v % 2 == 0, "even?")
+        c = and_c(is_nat, even)
+        assert c.wrap(4, Blame("s", "c")) == 4
+        with pytest.raises(ContractViolation):
+            c.wrap(3, Blame("s", "c"))
+
+    def test_or_first_match(self):
+        c = or_c(is_nat, flat(lambda v: isinstance(v, str), "string?"))
+        assert c.wrap("x", Blame("s", "c")) == "x"
+        assert c.wrap(3, Blame("s", "c")) == 3
+        with pytest.raises(ContractViolation):
+            c.wrap(-1.5, Blame("s", "c"))
+
+    def test_listof(self):
+        c = listof(is_nat)
+        assert c.wrap([1, 2], Blame("s", "c")) == [1, 2]
+        with pytest.raises(ContractViolation):
+            c.wrap([1, -2], Blame("s", "c"))
+        with pytest.raises(ContractViolation):
+            c.wrap("not-a-list", Blame("s", "c"))
+
+
+class TestArrow:
+    def test_checks_domain_with_swapped_blame(self):
+        c = arrow([is_nat], is_nat)
+        f = c.wrap(lambda n: n + 1, Blame("server", "client"))
+        assert f(1) == 2
+        with pytest.raises(ContractViolation) as ei:
+            f(-1)
+        assert ei.value.party == "client"  # caller supplied the bad argument
+
+    def test_checks_range_with_positive_blame(self):
+        c = arrow([any_c], is_nat)
+        f = c.wrap(lambda n: -5, Blame("server", "client"))
+        with pytest.raises(ContractViolation) as ei:
+            f(0)
+        assert ei.value.party == "server"
+
+    def test_arity(self):
+        c = arrow([is_nat, is_nat], is_nat)
+        f = c.wrap(lambda a, b: a + b, Blame("s", "c"))
+        with pytest.raises(ContractViolation):
+            f(1)
+
+    def test_non_callable(self):
+        with pytest.raises(ContractViolation):
+            arrow([], is_nat).wrap(42, Blame("s", "c"))
+
+    def test_higher_order_domain_blame_swap(self):
+        """(-> (-> nat? nat?) nat?): if the *server* calls the client's
+        function with a bad argument, the server is blamed."""
+        fun_ctc = arrow([is_nat], is_nat)
+        c = arrow([fun_ctc], is_nat)
+        server = c.wrap(lambda g: g(-1), Blame("server", "client"))
+        with pytest.raises(ContractViolation) as ei:
+            server(lambda n: n)
+        assert ei.value.party == "server"
+
+
+class TestTerminatingContract:
+    def test_terminating_passes(self):
+        f = terminating_c().wrap(lambda n: n, Blame("s", "c"))
+        assert f(5) == 5
+
+    def test_nonterminating_blames_positive(self):
+        def loop(n):
+            return wrapped(n)
+
+        wrapped = terminating_c().wrap(loop, Blame("the-server", "c"))
+        with pytest.raises(SizeChangeError) as ei:
+            wrapped(1)
+        assert ei.value.blame == "the-server"
+
+    def test_non_callable_passes_through(self):
+        assert terminating_c().wrap(42, Blame("s", "c")) == 42
+
+    def test_idempotent_wrap(self):
+        f = terminating_c().wrap(lambda n: n, Blame("s", "c"))
+        assert terminating_c().wrap(f, Blame("other", "c")) is f
+
+
+class TestTotal:
+    def test_total_correctness_contract(self):
+        ctc = total([is_nat], is_nat)
+
+        @attach(ctc, positive="factorial")
+        def fact(n):
+            return 1 if n == 0 else n * fact(n - 1)
+
+        assert fact(5) == 120
+
+    def test_total_rejects_bad_argument(self):
+        ctc = total([is_nat], is_nat)
+        f = attach(ctc, positive="server", negative="client")(lambda n: n)
+        with pytest.raises(ContractViolation) as ei:
+            f(-3)
+        assert ei.value.party == "client"
+
+    def test_total_rejects_divergence(self):
+        ctc = total([is_int], is_int)
+
+        def loop(n):
+            return f(n)
+
+        f = attach(ctc, positive="server")(loop)
+        with pytest.raises(SizeChangeError) as ei:
+            f(7)
+        assert ei.value.blame == "server"
+
+    def test_total_rejects_bad_range(self):
+        ctc = total([is_nat], is_nat)
+        f = attach(ctc, positive="server")(lambda n: "oops")
+        with pytest.raises(ContractViolation) as ei:
+            f(1)
+        assert ei.value.party == "server"

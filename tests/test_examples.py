@@ -1,0 +1,52 @@
+"""Every example script runs cleanly and tells its story."""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES = sorted(
+    (pathlib.Path(__file__).resolve().parent.parent / "examples").glob("*.py")
+)
+
+EXPECTED_SNIPPETS = {
+    "quickstart.py": ["ackermann(2, 3) = 9", "size-change violation",
+                      "factorial(10) = 3628800"],
+    "embedded_ack.py": ["(ack 2 0) = 3", "{m ↓ m, m ↓ n}",
+                        "the entry component"],
+    "lambda_interpreter.py": ["procedure", "size-change violation"],
+    "static_verification.py": ["verdict: verified", "{m ↓ m}",
+                               "state1", "verdict: unknown"],
+    "cps_len.py": ["REJECTED", "= 5", "violation"],
+    "scheme_interpreter.py": ["result: (0 1 2", "violations: none",
+                              "size-change violation"],
+    "nfa_bug.py": ["verdict: unknown", "input ↓= input",
+                   "verdict: verified", "caught in milliseconds"],
+    "total_correctness.py": ["msort([5,1,4,2]) = [1, 2, 4, 5]",
+                             "caught before hanging",
+                             "termination violation",
+                             "contract violation, blaming fact-caller"],
+    "monotonicity_constraints.py": ["SC: unknown", "MC: verified",
+                                    "lo\u2032 > lo", "under MC:",
+                                    "rejected by SC graphs"],
+    "full_extent_python.py": ["caught:", "pipeline: [4, 4]",
+                              "with backoff:"],
+}
+
+
+@pytest.mark.parametrize("example", EXAMPLES, ids=[e.name for e in EXAMPLES])
+def test_example_runs(example):
+    proc = subprocess.run(
+        [sys.executable, str(example)],
+        capture_output=True, text=True, timeout=240,
+    )
+    assert proc.returncode == 0, proc.stderr
+    for snippet in EXPECTED_SNIPPETS.get(example.name, []):
+        assert snippet in proc.stdout, (
+            f"{example.name} missing {snippet!r} in:\n{proc.stdout}"
+        )
+
+
+def test_all_examples_have_expectations():
+    assert {e.name for e in EXAMPLES} == set(EXPECTED_SNIPPETS)

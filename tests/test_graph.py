@@ -1,0 +1,175 @@
+"""Size-change graph tests, straight from paper Fig. 4 and §2.1."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sct.graph import (
+    EMPTY_GRAPH,
+    SCGraph,
+    arc,
+    compose_run,
+    graph_of_values,
+    prog_ok,
+)
+from repro.sct.order import SizeOrder
+from repro.values.values import python_to_list
+
+
+def g(*arcs_):
+    return SCGraph(arcs_)
+
+
+# Named positions for the ack example: m = 0, n = 1.
+M, N = 0, 1
+
+
+class TestCompose:
+    def test_paper_ack_composition(self):
+        """§2.1: {(m↓m)} ; {(m↓=m), (n↓n)} = {(m↓m)}."""
+        g1 = g(arc(M, "<", M))
+        g2 = g(arc(M, "=", M), arc(N, "<", N))
+        assert g1.compose(g2) == g(arc(M, "<", M))
+
+    def test_strict_propagates_either_leg(self):
+        assert g(arc(0, "<", 0)).compose(g(arc(0, "=", 0))) == g(arc(0, "<", 0))
+        assert g(arc(0, "=", 0)).compose(g(arc(0, "<", 0))) == g(arc(0, "<", 0))
+
+    def test_weak_only_without_strict_path(self):
+        assert g(arc(0, "=", 0)).compose(g(arc(0, "=", 0))) == g(arc(0, "=", 0))
+
+    def test_strict_path_shadows_weak_path(self):
+        # 0→1 two ways: strict via 1, weak via 2; result must be strict.
+        g1 = g(arc(0, "<", 1), arc(0, "=", 2))
+        g2 = g(arc(1, "=", 1), arc(2, "=", 1))
+        composed = g1.compose(g2)
+        assert composed == g(arc(0, "<", 1))
+
+    def test_no_connection_gives_empty(self):
+        assert g(arc(0, "<", 1)).compose(g(arc(0, "<", 1))) == EMPTY_GRAPH
+
+    def test_compose_run(self):
+        run = [g(arc(0, "<", 0))] * 3
+        assert compose_run(run) == g(arc(0, "<", 0))
+
+    def test_empty_graph_composition(self):
+        assert EMPTY_GRAPH.compose(g(arc(0, "<", 0))) == EMPTY_GRAPH
+
+
+class TestDesc:
+    def test_idempotent_with_self_descent_ok(self):
+        gr = g(arc(M, "<", M))
+        assert gr.is_idempotent() and gr.desc_ok()
+
+    def test_idempotent_without_self_descent_bad(self):
+        gr = g(arc(M, "=", M))
+        assert gr.is_idempotent() and not gr.desc_ok()
+
+    def test_empty_graph_is_violation(self):
+        assert EMPTY_GRAPH.is_idempotent()
+        assert not EMPTY_GRAPH.desc_ok()
+
+    def test_non_idempotent_unconstrained(self):
+        gr = g(arc(0, "<", 1))  # g;g = {} ≠ g
+        assert not gr.is_idempotent()
+        assert gr.desc_ok()
+
+    def test_buggy_ack_graph(self):
+        """§2.1: {(m↓=m), (n↓=m)} is idempotent with no self-descent."""
+        gr = g(arc(M, "=", M), arc(N, "=", M))
+        assert gr.is_idempotent()
+        assert not gr.desc_ok()
+
+
+class TestProg:
+    def test_good_ack_sequence(self):
+        seq_newest_first = [
+            g(arc(M, "=", M), arc(N, "<", N)),
+            g(arc(M, "<", M)),
+        ]
+        assert prog_ok(seq_newest_first)
+
+    def test_violating_sequence(self):
+        assert not prog_ok([g(arc(M, "=", M))])
+
+    def test_violation_only_in_composition(self):
+        # Individually fine (non-idempotent), but the composition of the two
+        # swap graphs is the identity-free idempotent empty graph.
+        swap1 = g(arc(0, "<", 1))
+        swap2 = g(arc(0, "<", 1))
+        assert swap1.desc_ok() and swap2.desc_ok()
+        assert not prog_ok([swap2, swap1])
+
+    def test_swap_with_descent_is_fine(self):
+        # f(x,y) -> f(y-1, x-1): both cross arcs strict; compositions cycle
+        # between the swap graph and a strict identity graph.
+        swap = g(arc(0, "<", 1), arc(1, "<", 0))
+        assert prog_ok([swap])
+        assert prog_ok([swap, swap])
+        assert prog_ok([swap, swap, swap])
+
+
+class TestGraphOfValues:
+    def setup_method(self):
+        self.order = SizeOrder()
+
+    def test_ack_2_0_first_step(self):
+        """(ack 2 0) ↝ (ack 1 1): {(m↓m), (m↓n)} (§2.1 / Fig. 1)."""
+        got = graph_of_values((2, 0), (1, 1), self.order)
+        assert got == g(arc(M, "<", M), arc(M, "<", N))
+
+    def test_ack_1_1_to_1_0(self):
+        got = graph_of_values((1, 1), (1, 0), self.order)
+        assert got == g(
+            arc(M, "=", M), arc(M, "<", N), arc(N, "=", M), arc(N, "<", N)
+        )
+
+    def test_ack_1_0_to_0_1(self):
+        """Fig. 1: {(m↓m), (m↓=n), (n↓=m)}."""
+        got = graph_of_values((1, 0), (0, 1), self.order)
+        assert got == g(arc(M, "<", M), arc(M, "=", N), arc(N, "=", M))
+
+    def test_ack_1_1_to_0_2(self):
+        """Fig. 1: {(m↓m), (n↓m)}."""
+        got = graph_of_values((1, 1), (0, 2), self.order)
+        assert got == g(arc(M, "<", M), arc(N, "<", M))
+
+    def test_lists_descend(self):
+        lst = python_to_list([1, 2, 3])
+        got = graph_of_values((lst,), (lst.cdr,), self.order)
+        assert got == g(arc(0, "<", 0))
+
+    def test_mixed_arity(self):
+        got = graph_of_values((5,), (4, 5), self.order)
+        assert got == g(arc(0, "<", 0), arc(0, "=", 1))
+
+
+# -- properties ---------------------------------------------------------------
+
+_arcs = st.lists(
+    st.tuples(st.integers(0, 2), st.booleans(), st.integers(0, 2)),
+    max_size=6,
+).map(SCGraph)
+
+
+@settings(max_examples=300, deadline=None)
+@given(_arcs, _arcs, _arcs)
+def test_composition_is_associative(a, b, c):
+    assert a.compose(b).compose(c) == a.compose(b.compose(c))
+
+
+@settings(max_examples=200, deadline=None)
+@given(_arcs, _arcs)
+def test_composition_strictness_monotone(a, b):
+    """Every composed arc comes from a connecting path, and strict arcs
+    require a strict leg."""
+    composed = a.compose(b)
+    for (i, r, k) in composed.arcs:
+        paths = [
+            (r0, r1)
+            for (i0, r0, j0) in a.arcs
+            for (j1, r1, k1) in b.arcs
+            if i0 == i and k1 == k and j0 == j1
+        ]
+        assert paths
+        if r:  # strict arc: some path has a strict leg
+            assert any(r0 or r1 for r0, r1 in paths)

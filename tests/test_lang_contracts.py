@@ -1,0 +1,350 @@
+"""The object-language contract system: library combinators, the arrow
+macros, define/contract, blame discipline, and total-correctness
+contracts (§2.3: terminating/c composed with pre/post conditions)."""
+
+import pytest
+
+from repro.errors import BlameError
+from repro.eval.machine import run_source
+from repro.lang.contracts_lib import CONTRACT_LIBRARY_NAMES
+from repro.lang.parser import ParseError, parse_program
+
+
+def run(src: str, **kwargs):
+    return run_source(src, **kwargs)
+
+
+def value_of(src: str, **kwargs):
+    answer = run(src, **kwargs)
+    assert answer.is_value(), f"expected a value, got {answer!r}"
+    return answer
+
+
+def blame_of(src: str, **kwargs) -> BlameError:
+    answer = run(src, **kwargs)
+    assert answer.kind == answer.RT_ERROR, f"expected blame, got {answer!r}"
+    assert isinstance(answer.error, BlameError), answer.error
+    return answer.error
+
+
+class TestLibraryIsLoaded:
+    def test_every_documented_name_is_bound(self):
+        probes = " ".join(f"(procedure? {n})" if "/" not in n or n[0] != "a"
+                          else n for n in [])
+        for name in CONTRACT_LIBRARY_NAMES:
+            answer = run(f"(void {name})")
+            assert answer.is_value(), f"{name} is not bound"
+
+    def test_library_does_not_leak_into_prims(self):
+        from repro.lang.prims import PRIM_NAMES
+
+        assert "contract" not in PRIM_NAMES
+        assert "blame-error" in PRIM_NAMES
+
+
+class TestFlatContracts:
+    def test_accepting_returns_the_value(self):
+        assert value_of("(contract nat/c 42 'p 'n)").value == 42
+
+    def test_rejection_blames_positive(self):
+        err = blame_of("(contract nat/c -1 'server 'client)")
+        assert err.party == "server"
+        assert err.contract_name == "natural?"
+
+    def test_flat_c_wraps_any_predicate(self):
+        assert value_of("(contract (flat/c even?) 4 'p 'n)").value == 4
+        blame_of("(contract (flat/c even?) 3 'p 'n)")
+
+    def test_named_flat_reports_its_name(self):
+        err = blame_of(
+            "(contract (flat-named/c 'small? (lambda (v) (< v 10))) 99 'p 'n)"
+        )
+        assert err.contract_name == "small?"
+
+    def test_comparison_contracts(self):
+        assert value_of("(contract (between/c 1 5) 3 'p 'n)").value == 3
+        blame_of("(contract (between/c 1 5) 9 'p 'n)")
+        assert value_of("(contract (>=/c 0) 0 'p 'n)").value == 0
+        blame_of("(contract (</c 0) 0 'p 'n)")
+        blame_of("(contract (=/c 7) 8 'p 'n)")
+
+    def test_type_contracts(self):
+        assert value_of("(contract bool/c #f 'p 'n)").value is False
+        assert value_of("(contract sym/c 'a 'p 'n)").value.name == "a"
+        assert value_of('(contract str/c "s" \'p \'n)').value == "s"
+        blame_of("(contract str/c 's 'p 'n)")
+        assert value_of("(contract nil/c '() 'p 'n)")
+        blame_of("(contract nil/c '(1) 'p 'n)")
+
+    def test_any_c_accepts_everything(self):
+        for v in ("42", "#f", "'()", "car"):
+            assert value_of(f"(contract any/c {v} 'p 'n)").is_value()
+
+    def test_none_c_rejects_everything(self):
+        blame_of("(contract none/c 42 'p 'n)")
+
+    def test_crashing_predicate_is_a_runtime_error(self):
+        answer = run("(contract (flat/c car) 5 'p 'n)")
+        assert answer.kind == answer.RT_ERROR
+
+
+class TestCombinators:
+    def test_and_c_checks_in_order(self):
+        assert value_of("(contract (and/c int/c (>=/c 0)) 3 'p 'n)").value == 3
+        err = blame_of("(contract (and/c int/c (>=/c 0)) 'x 'p 'n)")
+        assert err.contract_name == "integer?"
+        err = blame_of("(contract (and/c int/c (>=/c 0)) -3 'p 'n)")
+        assert err.contract_name == ">=/c"
+
+    def test_empty_and_c_is_any_c(self):
+        assert value_of("(contract (and/c) 'anything 'p 'n)").is_value()
+
+    def test_empty_or_c_is_none_c(self):
+        blame_of("(contract (or/c) 5 'p 'n)")
+
+    def test_or_c_dispatches_on_first_order_test(self):
+        assert value_of("(contract (or/c nat/c bool/c) #t 'p 'n)").value is True
+        assert value_of("(contract (or/c nat/c bool/c) 4 'p 'n)").value == 4
+        err = blame_of("(contract (or/c nat/c bool/c) 'sym 'p 'n)")
+        assert err.contract_name == "or/c"
+
+    def test_or_c_with_a_function_branch(self):
+        src = """
+        (define checked (contract (or/c nat/c (->/c nat/c nat/c))
+                                  (lambda (x) (+ x 1)) 'p 'n))
+        (checked 4)
+        """
+        assert value_of(src).value == 5
+
+    def test_not_c(self):
+        assert value_of("(contract (not/c nat/c) -1 'p 'n)").value == -1
+        blame_of("(contract (not/c nat/c) 1 'p 'n)")
+
+    def test_listof_c_flat(self):
+        assert value_of("(contract (listof/c nat/c) '(1 2 3) 'p 'n)")
+        blame_of("(contract (listof/c nat/c) '(1 -2 3) 'p 'n)")
+        blame_of("(contract (listof/c nat/c) 5 'p 'n)")
+
+    def test_listof_c_empty_list(self):
+        assert value_of("(contract (listof/c nat/c) '() 'p 'n)")
+
+    def test_listof_c_higher_order_elements(self):
+        src = """
+        (define fs (contract (listof/c (->/c nat/c nat/c))
+                             (list (lambda (x) x) (lambda (x) (- x 9)))
+                             'maker 'user))
+        ((second fs) 3)
+        """
+        err = blame_of(src)
+        assert err.party == "maker"
+
+    def test_cons_c(self):
+        assert value_of("(contract (cons/c nat/c sym/c) (cons 1 'a) 'p 'n)")
+        blame_of("(contract (cons/c nat/c sym/c) (cons -1 'a) 'p 'n)")
+        blame_of("(contract (cons/c nat/c sym/c) 7 'p 'n)")
+
+    def test_nonempty_listof_c(self):
+        assert value_of("(contract (nonempty-listof/c int/c) '(1) 'p 'n)")
+        blame_of("(contract (nonempty-listof/c int/c) '() 'p 'n)")
+
+    def test_first_order_accessor(self):
+        assert value_of("((contract-first-order nat/c) 3)").value is True
+        assert value_of("((contract-first-order nat/c) -3)").value is False
+        assert value_of("((contract-first-order (and/c int/c (>/c 2))) 1)").value is False
+
+
+class TestArrowContracts:
+    def test_zero_arity(self):
+        src = "(define f (contract (->/c nat/c) (lambda () 7) 'p 'n)) (f)"
+        assert value_of(src).value == 7
+
+    def test_domain_violation_blames_negative(self):
+        src = """
+        (define f (contract (->/c nat/c nat/c) (lambda (x) x) 'server 'client))
+        (f -1)
+        """
+        assert blame_of(src).party == "client"
+
+    def test_range_violation_blames_positive(self):
+        src = """
+        (define f (contract (->/c nat/c nat/c) (lambda (x) (- x 10)) 'server 'client))
+        (f 3)
+        """
+        assert blame_of(src).party == "server"
+
+    def test_non_procedure_blames_positive(self):
+        err = blame_of("(contract (->/c nat/c nat/c) 5 'server 'client)")
+        assert err.party == "server"
+        assert err.contract_name == "->/c"
+
+    def test_higher_order_domain_double_swap(self):
+        # The server misuses the callback the client supplied: the callback's
+        # domain swaps twice, so the *server* is blamed.
+        src = """
+        (define use (contract (->/c (->/c nat/c nat/c) nat/c)
+                              (lambda (k) (k -5))
+                              'server 'client))
+        (use (lambda (x) x))
+        """
+        assert blame_of(src).party == "server"
+
+    def test_higher_order_range_blames_client(self):
+        # The client's callback returns garbage: the callback's range has
+        # singly-swapped blame, charging the client.
+        src = """
+        (define use (contract (->/c (->/c nat/c nat/c) nat/c)
+                              (lambda (k) (k 5))
+                              'server 'client))
+        (use (lambda (x) (- x 100)))
+        """
+        assert blame_of(src).party == "client"
+
+    def test_contracts_evaluate_once(self):
+        # The domain expression runs once at contract construction.
+        src = """
+        (define hits (box 0))
+        (define (counting-nat)
+          (set-box! hits (+ 1 (unbox hits)))
+          nat/c)
+        (define f (contract (->/c (counting-nat) nat/c) (lambda (x) x) 'p 'n))
+        (f 1) (f 2) (f 3)
+        (unbox hits)
+        """
+        assert value_of(src).value == 1
+
+    def test_multi_argument_positions(self):
+        src = """
+        (define f (contract (->/c nat/c sym/c nat/c) (lambda (n s) n) 'p 'n))
+        (f 1 'ok)
+        """
+        assert value_of(src).value == 1
+        err = blame_of("""
+        (define f (contract (->/c nat/c sym/c nat/c) (lambda (n s) n) 'p 'n))
+        (f 1 2)
+        """)
+        assert err.contract_name == "symbol?"
+
+
+class TestDefineContract:
+    def test_function_form(self):
+        src = """
+        (define/contract (inc x) (->/c int/c int/c) (+ x 1))
+        (inc 4)
+        """
+        assert value_of(src).value == 5
+
+    def test_value_form(self):
+        src = """
+        (define/contract limit nat/c 100)
+        limit
+        """
+        assert value_of(src).value == 100
+
+    def test_value_form_rejects(self):
+        err = blame_of("(define/contract limit nat/c -1) limit")
+        assert err.party == "limit"
+
+    def test_parties_are_derived_from_the_name(self):
+        err = blame_of("""
+        (define/contract (f x) (->/c nat/c nat/c) x)
+        (f -1)
+        """)
+        assert err.party == "f-caller"
+
+    def test_internal_define_contract(self):
+        src = """
+        (define (outer)
+          (define/contract (inner x) (->/c nat/c nat/c) (* x x))
+          (inner 3))
+        (outer)
+        """
+        assert value_of(src).value == 9
+
+    def test_recursive_calls_go_through_the_contract(self):
+        # The body's recursive reference resolves to the wrapped binding,
+        # so a bad internal call is caught and blames the caller party.
+        src = """
+        (define/contract (countdown x) (->/c nat/c nat/c)
+          (if (zero? x) 0 (countdown (- x 2))))
+        (countdown 5)
+        """
+        err = blame_of(src)
+        assert err.party == "countdown-caller"
+
+    def test_malformed_forms_raise_parse_errors(self):
+        with pytest.raises(ParseError):
+            parse_program("(define/contract f nat/c)")
+        with pytest.raises(ParseError):
+            parse_program("(define/contract (f x) nat/c)")
+        with pytest.raises(ParseError):
+            parse_program("(define/contract 3 nat/c 4)")
+
+
+class TestTotalCorrectness:
+    FACT = """
+    (define/contract (fact n) (->t/c nat/c nat/c)
+      (if (zero? n) 1 (* n (fact (- n 1)))))
+    """
+
+    def test_terminating_function_passes(self):
+        assert value_of(self.FACT + "(fact 5)", mode="contract").value == 120
+
+    def test_divergence_is_an_sc_error(self):
+        src = """
+        (define/contract (spin n) (->t/c nat/c nat/c)
+          (if (zero? n) 0 (spin n)))
+        (spin 3)
+        """
+        answer = run(src, mode="contract")
+        assert answer.kind == answer.SC_ERROR
+        assert "->t/c" in str(answer.violation.blame)
+
+    def test_domain_still_checked(self):
+        err = blame_of(self.FACT + "(fact -1)", mode="contract")
+        assert err.party == "fact-caller"
+
+    def test_range_still_checked(self):
+        src = """
+        (define/contract (bad n) (->t/c nat/c nat/c) (- n 10))
+        (bad 3)
+        """
+        assert blame_of(src, mode="contract").party == "bad"
+
+    def test_unmonitored_mode_skips_termination_but_keeps_types(self):
+        # mode='off' never monitors, but the flat checks still run.
+        err = blame_of(self.FACT + "(fact -1)", mode="off")
+        assert err.party == "fact-caller"
+
+    def test_total_contract_under_full_monitoring(self):
+        assert value_of(self.FACT + "(fact 6)", mode="full").value == 720
+
+    def test_composes_with_and_c(self):
+        src = """
+        (define/contract (len l) (and/c proc/c (->t/c (listof/c any/c) nat/c))
+          (if (null? l) 0 (+ 1 (len (cdr l)))))
+        (len '(a b c))
+        """
+        assert value_of(src, mode="contract").value == 3
+
+
+class TestContractsUnderMonitoring:
+    def test_projection_wrappers_do_not_trip_the_monitor(self):
+        # Wrappers call the raw function with the same (checked) arguments;
+        # under full monitoring this must not be reported as a size-change
+        # violation of the wrapper itself.
+        src = """
+        (define/contract (sum l) (->/c (listof/c int/c) int/c)
+          (if (null? l) 0 (+ (car l) (sum (cdr l)))))
+        (sum '(1 2 3 4))
+        """
+        assert value_of(src, mode="full").value == 10
+
+    def test_listof_projection_is_itself_size_change_terminating(self):
+        # The letrec'd wrap loop descends on the list structure.  (The list
+        # is built by a *descending* loop: the prelude's iota counts up and
+        # is itself rejected by full monitoring.)
+        src = """
+        (define (down n) (if (zero? n) '() (cons n (down (- n 1)))))
+        (contract (listof/c nat/c) (down 50) 'p 'n)
+        """
+        assert value_of(src, mode="full").is_value()

@@ -1,0 +1,266 @@
+"""Unit tests for monotonicity-constraint graphs (repro.mc.graph)."""
+
+import pytest
+
+from repro.mc.graph import (
+    GEQ,
+    GT,
+    MCGraph,
+    NO_EDGE,
+    mc_graph_of_sizes,
+    mc_graph_of_values,
+)
+from repro.sct.graph import SCGraph, arc
+from repro.values.values import NIL, Pair, cons
+
+
+def graph(pre, post, *constraints):
+    return MCGraph.build(pre, post, constraints)
+
+
+class TestBuildAndClose:
+    def test_empty_graph_is_satisfiable(self):
+        g = MCGraph.top(2, 2)
+        assert g.sat
+        assert not g.has_descent()
+
+    def test_transitive_closure_derives_strict(self):
+        # x > y, y ≥ x' ⟹ x > x'
+        g = graph(2, 2, (0, GT, 1), (1, GEQ, 2))
+        assert g.entails(0, GT, 2)
+
+    def test_weak_chain_stays_weak(self):
+        g = graph(2, 2, (0, GEQ, 1), (1, GEQ, 2))
+        assert g.entails(0, GEQ, 2)
+        assert not g.entails(0, GT, 2)
+
+    def test_strict_cycle_is_unsat(self):
+        g = graph(1, 1, (0, GT, 1), (1, GT, 0))
+        assert not g.sat
+
+    def test_weak_cycle_is_equality_and_sat(self):
+        g = graph(1, 1, (0, GEQ, 1), (1, GEQ, 0))
+        assert g.sat
+        assert g.entails(0, GEQ, 1) and g.entails(1, GEQ, 0)
+
+    def test_mixed_cycle_is_unsat(self):
+        # x ≥ x' and x' > x cannot both hold
+        g = graph(1, 1, (0, GEQ, 1), (1, GT, 0))
+        assert not g.sat
+
+    def test_self_strict_constraint_is_unsat(self):
+        g = MCGraph.build(1, 1, [(0, GT, 0)])
+        assert not g.sat
+
+    def test_self_weak_constraint_is_dropped(self):
+        g = MCGraph.build(1, 1, [(0, GEQ, 0)])
+        assert g == MCGraph.top(1, 1)
+
+    def test_duplicate_constraints_collapse(self):
+        g1 = graph(1, 1, (0, GT, 1), (0, GT, 1), (0, GEQ, 1))
+        g2 = graph(1, 1, (0, GT, 1))
+        assert g1 == g2
+
+    def test_closure_makes_equality_canonical(self):
+        # x = y stated two ways closes to the same graph
+        a = graph(2, 2, (0, GEQ, 1), (1, GEQ, 0))
+        b = graph(2, 2, (1, GEQ, 0), (0, GEQ, 1))
+        assert a == b
+        assert hash(a) == hash(b)
+
+    def test_constraint_accessor(self):
+        g = graph(1, 1, (0, GT, 1))
+        assert g.constraint(0, 1) == GT
+        assert g.constraint(1, 0) == NO_EDGE
+
+    def test_unsat_constraint_accessor_raises(self):
+        with pytest.raises(ValueError):
+            MCGraph.unsat(1, 1).constraint(0, 0)
+
+    def test_unsat_entails_everything(self):
+        u = MCGraph.unsat(2, 2)
+        assert u.entails(0, GT, 3)
+        assert u.entails(3, GT, 0)
+
+
+class TestCompose:
+    def test_identity_transition_is_idempotent(self):
+        ident = graph(1, 1, (0, GEQ, 1), (1, GEQ, 0))
+        assert ident.compose(ident) == ident
+        assert ident.is_idempotent()
+
+    def test_equality_survives_composition_both_directions(self):
+        ident = graph(1, 1, (0, GEQ, 1), (1, GEQ, 0))
+        gg = ident.compose(ident)
+        assert gg.entails(0, GEQ, 1)
+        assert gg.entails(1, GEQ, 0)
+
+    def test_strict_propagates_through_weak(self):
+        desc = graph(1, 1, (0, GT, 1))
+        ident = graph(1, 1, (0, GEQ, 1), (1, GEQ, 0))
+        assert desc.compose(ident).entails(0, GT, 1)
+        assert ident.compose(desc).entails(0, GT, 1)
+
+    def test_arity_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            graph(2, 2).compose(graph(3, 3))
+
+    def test_cross_arity_composition(self):
+        # f(x) -> g(x, x) -> h(x): 1->2 composed with 2->1
+        g1 = graph(1, 2, (0, GEQ, 1), (0, GEQ, 2))
+        g2 = graph(2, 1, (0, GT, 2))
+        c = g1.compose(g2)
+        assert c.pre_arity == 1 and c.post_arity == 1
+        assert c.entails(0, GT, 1)
+
+    def test_contradictory_context_composes_to_unsat(self):
+        # swap under guard x > y: composing it with itself requires
+        # y > x in the middle — impossible.
+        swap = graph(
+            2, 2,
+            (0, GT, 1),            # x > y
+            (1, GEQ, 2), (2, GEQ, 1),  # x' = y
+            (0, GEQ, 3), (3, GEQ, 0),  # y' = x
+        )
+        assert swap.sat
+        assert not swap.compose(swap).sat
+        assert swap.desc_ok()  # not idempotent (self-composition unsat)
+
+    def test_unsat_absorbs(self):
+        u = MCGraph.unsat(2, 2)
+        g = MCGraph.top(2, 2)
+        assert not u.compose(g).sat
+        assert not g.compose(u).sat
+
+    def test_composition_is_associative_on_examples(self):
+        g1 = graph(2, 2, (0, GT, 2), (1, GEQ, 3))
+        g2 = graph(2, 2, (0, GEQ, 3), (1, GT, 2), (0, GT, 1))
+        g3 = graph(2, 2, (1, GEQ, 2), (3, GT, 1))
+        assert g1.compose(g2).compose(g3) == g1.compose(g2.compose(g3))
+
+
+class TestTerminationLocalCheck:
+    def test_descent_passes(self):
+        g = graph(1, 1, (0, GT, 1))
+        assert g.is_idempotent()
+        assert g.has_descent()
+        assert g.desc_ok()
+
+    def test_plain_ascent_fails(self):
+        g = graph(1, 1, (1, GT, 0))  # x' > x, nothing else
+        assert g.is_idempotent()
+        assert not g.desc_ok()
+
+    def test_stationary_loop_fails(self):
+        g = graph(1, 1, (0, GEQ, 1), (1, GEQ, 0))  # x' = x forever
+        assert not g.desc_ok()
+
+    def test_bounded_ascent_passes(self):
+        # lo climbs, hi is a non-rising ceiling, lo' stays ≤ hi'
+        g = graph(
+            2, 2,
+            (2, GT, 0),    # lo' > lo
+            (1, GEQ, 3), (3, GEQ, 1),  # hi' = hi
+            (3, GEQ, 2),   # hi' ≥ lo'
+        )
+        assert g.is_idempotent()
+        assert not g.has_descent()
+        assert g.bounded_ascent_witness() == (1, 0)
+        assert g.desc_ok()
+
+    def test_ascent_without_ceiling_link_fails(self):
+        # lo climbs, hi fixed, but nothing ties lo below hi
+        g = graph(2, 2, (2, GT, 0), (1, GEQ, 3), (3, GEQ, 1))
+        assert g.is_idempotent()
+        assert not g.desc_ok()
+
+    def test_ascent_with_rising_ceiling_fails(self):
+        # both climb: no witness
+        g = graph(2, 2, (2, GT, 0), (3, GT, 1), (3, GEQ, 2))
+        assert g.bounded_ascent_witness() is None
+        assert not g.desc_ok()
+
+    def test_unsat_always_passes(self):
+        assert MCGraph.unsat(2, 2).desc_ok()
+
+    def test_non_square_has_no_witness(self):
+        g = graph(1, 2, (1, GT, 0))
+        assert g.bounded_ascent_witness() is None
+
+
+class TestConversions:
+    def test_scgraph_embedding_strict(self):
+        sc = SCGraph([arc(0, "<", 0), arc(1, "=", 1)])
+        mc = MCGraph.from_scgraph(sc, 2, 2)
+        assert mc.entails(0, GT, 2)
+        assert mc.entails(1, GEQ, 3)
+        assert not mc.entails(1, GT, 3)
+
+    def test_embedding_then_projection_roundtrips(self):
+        sc = SCGraph([arc(0, "<", 1), arc(1, "=", 0)])
+        assert MCGraph.from_scgraph(sc, 2, 2).to_scgraph() == sc
+
+    def test_projection_keeps_derived_arcs(self):
+        # context x > y plus y ≥ x' gives the SC arc x ↓ x' after closure
+        mc = graph(2, 2, (0, GT, 1), (1, GEQ, 2))
+        sc = mc.to_scgraph()
+        assert arc(0, "<", 0) in sc.arcs
+
+    def test_unsat_projects_to_empty_scgraph(self):
+        assert MCGraph.unsat(2, 2).to_scgraph() == SCGraph()
+
+    def test_mc_desc_ok_no_weaker_than_sc_on_embeddings(self):
+        # If the SC graph fails desc?, its MC embedding must also fail.
+        failing = SCGraph([arc(0, "=", 0)])
+        assert not failing.desc_ok()
+        assert not MCGraph.from_scgraph(failing, 1, 1).desc_ok()
+
+
+class TestGraphOfValues:
+    def test_total_order_on_integers(self):
+        g = mc_graph_of_values((5, 3), (3, 5))
+        assert g.entails(0, GT, 1)       # 5 > 3 (context!)
+        assert g.entails(0, GT, 2)       # old x > new x
+        assert g.entails(0, GEQ, 3) and g.entails(3, GEQ, 0)  # y' = x
+
+    def test_sizes_compare_pairs_and_nil(self):
+        lst = cons(1, cons(2, NIL))
+        g = mc_graph_of_values((lst,), (lst.cdr,))
+        assert g.entails(0, GT, 1)
+
+    def test_floats_contribute_nothing(self):
+        g = mc_graph_of_values((1.5,), (0.5,))
+        assert g == MCGraph.top(1, 1)
+
+    def test_none_sizes_in_graph_of_sizes(self):
+        g = mc_graph_of_sizes([None, 4], [2, None])
+        assert g.entails(1, GT, 2)
+        assert g.constraint(0, 2) == NO_EDGE
+
+    def test_dynamic_graph_is_never_unsat(self):
+        # Concrete values witness their own constraints.
+        for old, new in [((0, 0), (0, 0)), ((9, 1), (1, 9)), ((3,), (4,))]:
+            assert mc_graph_of_values(old, new).sat
+
+    def test_projection_agrees_with_scgraph_on_sizes(self):
+        from repro.sct.graph import graph_of_values
+        from repro.sct.order import SizeOrder
+
+        old, new = (7, 2), (2, 7)
+        mc_sc = mc_graph_of_values(old, new).to_scgraph()
+        sc = graph_of_values(old, new, SizeOrder())
+        # every SC arc appears in the MC projection (MC sees size equality
+        # where SC demands structural equality, so ⊇ not =)
+        assert sc.arcs <= mc_sc.arcs
+
+
+class TestPretty:
+    def test_pretty_names_primed_targets(self):
+        g = graph(1, 1, (0, GT, 1))
+        assert g.pretty(["n"]) == "{n > n′}"
+
+    def test_pretty_unsat(self):
+        assert MCGraph.unsat(1, 1).pretty() == "{unsat}"
+
+    def test_repr_contains_constraints(self):
+        assert "x0 > x0′" in repr(graph(1, 1, (0, GT, 1)))

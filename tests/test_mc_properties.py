@@ -1,0 +1,166 @@
+"""Property-based tests for monotonicity-constraint graphs.
+
+The key algebraic facts the monitor and the closure algorithm rely on:
+composition is associative, embeddings of size-change graphs commute with
+composition and the local check, dynamic graphs are always satisfiable,
+and adding constraints is monotone for entailment.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.mc.graph import GEQ, GT, MCGraph, mc_graph_of_sizes, mc_graph_of_values
+from repro.sct.graph import SCGraph, STRICT, WEAK, graph_of_values
+from repro.sct.order import SizeOrder
+
+ARITY = 3
+_NODES = st.integers(min_value=0, max_value=2 * ARITY - 1)
+_CONSTRAINT = st.tuples(_NODES, st.sampled_from([GEQ, GT]), _NODES)
+
+
+def mc_graphs(arity: int = ARITY):
+    return st.lists(_CONSTRAINT, max_size=8).map(
+        lambda cs: MCGraph.build(arity, arity, cs)
+    )
+
+
+def _canonical(arcs):
+    """Strict dominates weak on the same (i, j) pair — the invariant
+    ``graph_of_values`` and ``compose`` maintain."""
+    strict = {(i, j) for (i, r, j) in arcs if r is STRICT}
+    return SCGraph(
+        [(i, r, j) for (i, r, j) in arcs
+         if r is STRICT or (i, j) not in strict]
+    )
+
+
+def sc_graphs(arity: int = ARITY):
+    params = st.integers(min_value=0, max_value=arity - 1)
+    arcs = st.tuples(params, st.sampled_from([STRICT, WEAK]), params)
+    return st.lists(arcs, max_size=6).map(_canonical)
+
+
+_ARGS = st.tuples(*[st.integers(min_value=-8, max_value=8)] * ARITY)
+
+
+class TestAlgebra:
+    @given(mc_graphs(), mc_graphs(), mc_graphs())
+    @settings(max_examples=150, deadline=None)
+    def test_composition_associative(self, g1, g2, g3):
+        assert g1.compose(g2).compose(g3) == g1.compose(g2.compose(g3))
+
+    @given(mc_graphs())
+    @settings(max_examples=100, deadline=None)
+    def test_identity_graph_is_neutral(self, g):
+        ident = MCGraph.build(
+            ARITY, ARITY,
+            [(i, GEQ, ARITY + i) for i in range(ARITY)]
+            + [(ARITY + i, GEQ, i) for i in range(ARITY)],
+        )
+        if g.sat:
+            left = ident.compose(g)
+            right = g.compose(ident)
+            # composing with pure renaming must not lose or gain arcs
+            assert left == g
+            assert right == g
+
+    @given(mc_graphs(), mc_graphs())
+    @settings(max_examples=150, deadline=None)
+    def test_unsat_absorbs(self, g1, g2):
+        u = MCGraph.unsat(ARITY, ARITY)
+        assert not u.compose(g1).sat
+        assert not g2.compose(u).sat
+
+    @given(mc_graphs(), mc_graphs(), _CONSTRAINT)
+    @settings(max_examples=150, deadline=None)
+    def test_composition_monotone_in_constraints(self, g1, g2, extra):
+        """Strengthening the first graph can only strengthen the result."""
+        if not g1.sat:
+            return
+        stronger = MCGraph.build(
+            ARITY, ARITY,
+            [(u, w, v)
+             for u in range(2 * ARITY) for v in range(2 * ARITY)
+             for w in [g1.rows[u][v]] if w >= GEQ and u != v]
+            + [extra],
+        )
+        weak_result = g1.compose(g2)
+        strong_result = stronger.compose(g2)
+        if not strong_result.sat or not weak_result.sat:
+            return
+        for u in range(2 * ARITY):
+            for v in range(2 * ARITY):
+                if u != v and weak_result.rows[u][v] >= GEQ:
+                    assert strong_result.rows[u][v] >= weak_result.rows[u][v]
+
+
+class TestEmbedding:
+    @given(sc_graphs(), sc_graphs())
+    @settings(max_examples=150, deadline=None)
+    def test_embedding_commutes_with_composition(self, g1, g2):
+        lifted = MCGraph.from_scgraph(g1, ARITY, ARITY).compose(
+            MCGraph.from_scgraph(g2, ARITY, ARITY)
+        )
+        assert lifted.to_scgraph() == g1.compose(g2)
+
+    @given(sc_graphs())
+    @settings(max_examples=150, deadline=None)
+    def test_embedding_preserves_the_local_check(self, g):
+        assert MCGraph.from_scgraph(g, ARITY, ARITY).desc_ok() == g.desc_ok()
+
+    @given(sc_graphs())
+    @settings(max_examples=100, deadline=None)
+    def test_embedding_roundtrip(self, g):
+        assert MCGraph.from_scgraph(g, ARITY, ARITY).to_scgraph() == g
+
+
+class TestDynamicGraphs:
+    @given(_ARGS, _ARGS)
+    @settings(max_examples=200, deadline=None)
+    def test_concrete_graphs_are_satisfiable(self, old, new):
+        assert mc_graph_of_values(old, new).sat
+
+    @given(_ARGS, _ARGS)
+    @settings(max_examples=200, deadline=None)
+    def test_projection_covers_sc_arcs(self, old, new):
+        """Every arc the SC monitor would record is entailed by the MC
+        graph (MC monitoring is at least as informed)."""
+        sc = graph_of_values(old, new, SizeOrder())
+        mc = mc_graph_of_values(old, new).to_scgraph()
+        assert sc.arcs <= mc.arcs
+
+    @given(_ARGS, _ARGS, _ARGS)
+    @settings(max_examples=150, deadline=None)
+    def test_observed_compositions_are_satisfiable(self, a, b, c):
+        """Composing graphs from one actual trajectory can never be unsat
+        — the middle values witness the glued system."""
+        g1 = mc_graph_of_values(a, b)
+        g2 = mc_graph_of_values(b, c)
+        assert g1.compose(g2).sat
+
+    @given(_ARGS, _ARGS, _ARGS)
+    @settings(max_examples=150, deadline=None)
+    def test_composition_entails_endpoint_graph(self, a, b, c):
+        """g(a→b) ; g(b→c) may lose information but never contradicts the
+        directly observed g(a→c): every constraint it derives also holds
+        between a and c."""
+        composed = mc_graph_of_values(a, b).compose(mc_graph_of_values(b, c))
+        direct = mc_graph_of_values(a, c)
+        for u in range(2 * ARITY):
+            for v in range(2 * ARITY):
+                if u != v and composed.rows[u][v] >= GEQ:
+                    assert direct.rows[u][v] >= composed.rows[u][v]
+
+    @given(st.lists(st.integers(min_value=0, max_value=20) | st.none(),
+                    min_size=1, max_size=4))
+    @settings(max_examples=100, deadline=None)
+    def test_self_transition_never_violates(self, sizes):
+        """A call repeating the very same sizes yields the all-equal graph,
+        which is idempotent and *rightly* fails desc_ok (a verbatim repeat
+        is the canonical nontermination witness)."""
+        g = mc_graph_of_sizes(sizes, sizes)
+        has_info = any(s is not None for s in sizes)
+        if has_info:
+            assert g.is_idempotent()
+            assert not g.desc_ok()
+        else:
+            assert g == MCGraph.top(len(sizes), len(sizes))

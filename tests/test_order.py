@@ -1,0 +1,142 @@
+"""Well-founded partial order tests (paper Fig. 5 and the size order)."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.lang.ast import Lam, Lit
+from repro.sct.order import DESC, EQ, NONE, ContainmentOrder, SizeOrder
+from repro.sexp.datum import Char, intern
+from repro.values.env import GlobalEnv
+from repro.values.values import NIL, Closure, Pair, cons, python_to_list
+
+
+def _closure(name="f"):
+    lam = Lam((intern("x"),), Lit(1), name=name)
+    return Closure(lam, GlobalEnv())
+
+
+class TestSizeOrder:
+    def setup_method(self):
+        self.o = SizeOrder()
+
+    def test_integers_by_abs(self):
+        assert self.o.compare(5, 3) == DESC
+        assert self.o.compare(5, -3) == DESC
+        assert self.o.compare(-5, 3) == DESC
+        assert self.o.compare(3, 5) == NONE
+        assert self.o.compare(3, 3) == EQ
+        assert self.o.compare(3, -3) == NONE  # same size, not equal
+
+    def test_list_tail_descends(self):
+        lst = python_to_list([1, 2, 3])
+        assert self.o.compare(lst, lst.cdr) == DESC
+        assert self.o.compare(lst.cdr, lst) == NONE
+
+    def test_fresh_equal_lists_are_equal(self):
+        a = python_to_list([1, 2])
+        b = python_to_list([1, 2])
+        assert self.o.compare(a, b) == EQ
+
+    def test_merge_sort_halves_descend(self):
+        # Freshly allocated half-lists are smaller even though they are not
+        # substructures — the reason the size order is the default.
+        whole = python_to_list([4, 8, 15, 16, 23, 42])
+        half = python_to_list([4, 15, 23])
+        assert self.o.compare(whole, half) == DESC
+
+    def test_closures_incomparable(self):
+        f, g = _closure("f"), _closure("g")
+        assert self.o.compare(f, g) == NONE
+        assert self.o.compare(f, f) == EQ
+
+    def test_closure_never_descends_to_closure(self):
+        assert self.o.compare(_closure(), _closure()) == NONE
+
+    def test_floats_never_strict(self):
+        assert self.o.compare(2.0, 1.0) == NONE
+        assert self.o.compare(1.0, 1.0) == EQ
+
+    def test_string_by_length(self):
+        assert self.o.compare("abc", "ab") == DESC
+        assert self.o.compare("ab", "ba") == NONE
+        assert self.o.compare("ab", "ab") == EQ
+
+    def test_nil_below_pair(self):
+        assert self.o.compare(cons(1, NIL), NIL) == DESC
+
+    def test_cross_kind_by_size(self):
+        # The global natural measure permits cross-kind strictness; it stays
+        # well-founded because every strict arc decreases one ℕ measure.
+        assert self.o.compare(python_to_list([1, 1, 1]), 1) == DESC
+
+
+class TestContainmentOrder:
+    def setup_method(self):
+        self.o = ContainmentOrder()
+
+    def test_integers_by_abs(self):
+        assert self.o.compare(5, -3) == DESC
+        assert self.o.compare(3, 5) == NONE
+
+    def test_tail_is_contained(self):
+        lst = python_to_list([1, 2, 3])
+        assert self.o.compare(lst, lst.cdr) == DESC
+
+    def test_element_is_contained(self):
+        lst = python_to_list([7, 2])
+        assert self.o.compare(lst, 7) == DESC
+
+    def test_deep_containment(self):
+        tree = cons(cons(1, cons(2, NIL)), cons(3, NIL))
+        assert self.o.compare(tree, cons(2, NIL)) == DESC
+
+    def test_fresh_half_not_contained(self):
+        # The Fig. 5 order does NOT justify merge-sort's fresh halves.
+        whole = python_to_list([1, 2, 3, 4])
+        half = python_to_list([1, 3])
+        assert self.o.compare(whole, half) == NONE
+
+    def test_equal_is_eq(self):
+        assert self.o.compare(python_to_list([1]), python_to_list([1])) == EQ
+
+    def test_smaller_int_inside_pair(self):
+        p = cons(10, NIL)
+        assert self.o.compare(p, 4) == DESC  # 4 ≺ 10 ⪯ (10 . ())
+
+
+_values = st.recursive(
+    st.one_of(st.integers(-20, 20), st.booleans(),
+              st.sampled_from([intern("a"), intern("b"), Char("c"), NIL])),
+    lambda inner: st.tuples(inner, inner).map(lambda t: cons(t[0], t[1])),
+    max_leaves=10,
+)
+
+
+@settings(max_examples=300, deadline=None)
+@given(_values, _values)
+def test_orders_agree_on_reflexivity_and_antisymmetry(a, b):
+    for order in (SizeOrder(), ContainmentOrder()):
+        ab = order.compare(a, b)
+        ba = order.compare(b, a)
+        # strictness is antisymmetric
+        assert not (ab == DESC and ba == DESC)
+        # equality is symmetric
+        assert (ab == EQ) == (ba == EQ)
+
+
+@settings(max_examples=300, deadline=None)
+@given(_values, _values)
+def test_containment_strict_implies_size_strict(a, b):
+    """The size order subsumes Fig. 5: containment descent ⇒ size descent."""
+    if ContainmentOrder().compare(a, b) == DESC:
+        assert SizeOrder().compare(a, b) == DESC
+
+
+@settings(max_examples=200, deadline=None)
+@given(_values)
+def test_no_infinite_descent_possible(v):
+    """Sizes are naturals, so strict chains from v are bounded by size(v)."""
+    from repro.values.values import size_of
+
+    s = size_of(v)
+    assert s is not None and s >= 0

@@ -1,0 +1,204 @@
+"""Systematic primitive coverage: semantics and domain errors."""
+
+import pytest
+
+from repro.eval.machine import Answer, run_source
+from repro.sexp.datum import intern
+from repro.values.values import write_value
+
+
+def ev(text):
+    a = run_source(text)
+    assert a.kind == Answer.VALUE, repr(a)
+    return a.value
+
+
+def evs(text):
+    return write_value(ev(text))
+
+
+def err(text):
+    a = run_source(text)
+    assert a.kind == Answer.RT_ERROR, repr(a)
+    return str(a.error)
+
+
+class TestIntegerDivision:
+    """quotient/remainder truncate toward zero; modulo follows the divisor
+    (R5RS semantics)."""
+
+    @pytest.mark.parametrize("a,b,q,r,m", [
+        (7, 2, 3, 1, 1),
+        (-7, 2, -3, -1, 1),
+        (7, -2, -3, 1, -1),
+        (-7, -2, 3, -1, -1),
+        (6, 3, 2, 0, 0),
+        (0, 5, 0, 0, 0),
+    ])
+    def test_div_family(self, a, b, q, r, m):
+        assert ev(f"(quotient {a} {b})") == q
+        assert ev(f"(remainder {a} {b})") == r
+        assert ev(f"(modulo {a} {b})") == m
+
+    def test_division_by_zero(self):
+        for op in ("quotient", "remainder", "modulo"):
+            assert "zero" in err(f"({op} 1 0)")
+
+
+class TestNumericPredicates:
+    def test_parity(self):
+        assert ev("(even? 4)") is True
+        assert ev("(odd? 3)") is True
+        assert ev("(even? -2)") is True
+        assert ev("(odd? -3)") is True
+
+    def test_signs(self):
+        assert ev("(positive? 1)") is True
+        assert ev("(negative? -1)") is True
+        assert ev("(zero? 0)") is True
+        assert ev("(positive? 0)") is False
+
+    def test_minmax_abs(self):
+        assert ev("(min 3 1 2)") == 1
+        assert ev("(max 3 1 2)") == 3
+        assert ev("(abs -9)") == 9
+
+    def test_type_predicates(self):
+        assert ev("(number? 3)") is True
+        assert ev("(number? #t)") is False  # booleans are not numbers
+        assert ev("(integer? 3)") is True
+        assert ev("(boolean? #f)") is True
+        assert ev("(symbol? 'a)") is True
+        assert ev("(procedure? car)") is True
+        assert ev("(procedure? (lambda (x) x))") is True
+        assert ev("(procedure? 3)") is False
+
+
+class TestListPrims:
+    def test_accessors(self):
+        assert evs("(cadr '(1 2 3))") == "2"
+        assert evs("(caddr '(1 2 3))") == "3"
+        assert evs("(cddr '(1 2 3))") == "(3)"
+        assert evs("(cadddr '(1 2 3 4))") == "4"
+        assert evs("(caar '((1 2) 3))") == "1"
+
+    def test_list_tail_and_ref(self):
+        assert evs("(list-tail '(a b c d) 2)") == "(c d)"
+        assert evs("(list-ref '(a b c) 0)") == "a"
+        assert "list-ref" in err("(list-ref '(a) 5)")
+
+    def test_append_edge_cases(self):
+        assert evs("(append)") == "()"
+        assert evs("(append '(1))") == "(1)"
+        assert evs("(append '() '(1) '() '(2 3))") == "(1 2 3)"
+        assert evs("(append '(1) 2)") == "(1 . 2)"  # last arg may be improper
+
+    def test_list_predicates(self):
+        assert ev("(list? '(1 2))") is True
+        assert ev("(list? '(1 . 2))") is False
+        assert ev("(list? '())") is True
+        assert ev("(pair? '())") is False
+        assert ev("(null? '())") is True
+
+    def test_member_assoc_families(self):
+        assert evs("(member '(1) '((2) (1)))") == "((1))"  # equal?
+        assert ev("(memq '(1) '((2) (1)))") is False       # eq?
+        assert evs("(memv 2 '(1 2 3))") == "(2 3)"
+        assert evs("(assoc '(k) '(((k) . 1)))") == "((k) . 1)"
+        assert ev("(assq '(k) '(((k) . 1)))") is False
+        assert evs("(assv 2 '((1 . a) (2 . b)))") == "(2 . b)"
+
+    def test_length_improper_errors(self):
+        assert "length" in err("(length '(1 . 2))")
+
+    def test_reverse(self):
+        assert evs("(reverse '())") == "()"
+        assert evs("(reverse '(1 2 3))") == "(3 2 1)"
+
+
+class TestStringsAndChars:
+    def test_conversions(self):
+        assert evs("(list->string (list #\\h #\\i))") == '"hi"'
+        assert evs("(string->list \"ab\")") == "(#\\a #\\b)"
+        assert ev("(symbol->string 'foo)") == "foo"
+        assert ev("(string->symbol \"bar\")") is intern("bar")
+        assert ev("(number->string 42)") == "42"
+
+    def test_char_ops(self):
+        assert ev("(char->integer #\\a)") == 97
+        assert evs("(integer->char 98)") == "#\\b"
+        assert ev("(char<? #\\a #\\b)") is True
+        assert ev("(char=? #\\a #\\a #\\a)") is True
+
+    def test_string_ops(self):
+        assert ev('(string<? "abc" "abd")') is True
+        assert ev('(string=? "x" "x")') is True
+        assert evs('(string-ref "abc" 1)') == "#\\b"
+        assert "range" in err('(string-ref "a" 3)')
+        assert ev('(substring "hello" 2)') == "llo"
+
+    def test_string_type_errors(self):
+        assert "string" in err("(string-length 5)")
+        assert "character" in err("(char=? 1 2)")
+
+
+class TestHashPrims:
+    def test_build_and_query(self):
+        assert ev("(hash-count (hash))") == 0
+        assert ev("(hash-ref (hash 1 'one 2 'two) 2)") is intern("two")
+        assert ev("(hash-has-key? (hash 'a 1) 'b)") is False
+
+    def test_structural_keys(self):
+        assert ev("(hash-ref (hash '(1 2) 'hit) (list 1 2))") is intern("hit")
+
+    def test_functional_update(self):
+        src = """
+        (define h0 (hash 'a 1))
+        (define h1 (hash-set h0 'a 2))
+        (list (hash-ref h0 'a) (hash-ref h1 'a))
+        """
+        assert evs(src) == "(1 2)"
+
+    def test_missing_key(self):
+        assert "hash-ref" in err("(hash-ref (hash) 'nope)")
+        assert ev("(hash-ref (hash) 'nope 42)") == 42
+
+    def test_odd_arity_hash(self):
+        assert "even" in err("(hash 'a)")
+
+
+class TestEqualityPrims:
+    def test_eq_on_interned(self):
+        assert ev("(eq? 'a 'a)") is True
+        assert ev("(eq? '() '())") is True
+
+    def test_eqv_numbers_vs_equal_structures(self):
+        assert ev("(eqv? 100000 100000)") is True
+        assert ev("(eqv? '(1) '(1))") is False
+        assert ev("(equal? '(1 (2)) '(1 (2)))") is True
+        assert ev('(equal? "ab" "ab")') is True
+
+    def test_not(self):
+        assert ev("(not #f)") is True
+        assert ev("(not 0)") is False
+        assert ev("(not '())") is False
+
+
+class TestMisc:
+    def test_void(self):
+        assert evs("(void)") == "#<void>"
+        assert ev("(void? (void))") is True
+
+    def test_expt(self):
+        assert ev("(expt 3 4)") == 81
+        assert "negative" in err("(expt 2 -1)")
+
+    def test_error_prim_formats_values(self):
+        msg = err("(error \"bad value:\" '(1 2))")
+        assert "bad value:" in msg and "(1 2)" in msg
+
+    def test_boxes_roundtrip(self):
+        assert ev("(unbox (box 7))") == 7
+        assert ev("(box? (box 1))") is True
+        assert ev("(box? 1)") is False
+        assert "box" in err("(unbox 5)")

@@ -1,0 +1,165 @@
+"""Solver tests: Fourier–Motzkin over ℤ with tightening and ≠-splits."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.solver import Atom, LinExpr, Solver, eq, ge, gt, le, lt, ne
+from repro.solver.fm import unsat
+
+X = LinExpr.var("x")
+Y = LinExpr.var("y")
+Z = LinExpr.var("z")
+ONE = LinExpr.constant(1)
+ZERO = LinExpr.constant(0)
+
+
+def c(n):
+    return LinExpr.constant(n)
+
+
+class TestLinExpr:
+    def test_arith(self):
+        e = X + X + c(3) - Y
+        assert e.coeffs == {"x": 2, "y": -1} and e.const == 3
+
+    def test_zero_coeffs_dropped(self):
+        assert (X - X).coeffs == {}
+
+    def test_scale(self):
+        assert (X + ONE).scale(3).coeffs == {"x": 3}
+        assert (X + ONE).scale(3).const == 3
+
+    def test_equality_and_hash(self):
+        assert X + Y == Y + X
+        assert hash(X + Y) == hash(Y + X)
+
+
+class TestUnsat:
+    def test_constant_contradiction(self):
+        assert unsat((le(ONE, ZERO),))
+        assert not unsat((le(ZERO, ONE),))
+
+    def test_bounds_conflict(self):
+        # x ≥ 5 ∧ x ≤ 3
+        assert unsat((ge(X, c(5)), le(X, c(3))))
+        assert not unsat((ge(X, c(3)), le(X, c(5))))
+
+    def test_transitive_chain(self):
+        # x < y ∧ y < z ∧ z < x
+        assert unsat((lt(X, Y), lt(Y, Z), lt(Z, X)))
+
+    def test_equality_split(self):
+        assert unsat((eq(X, c(2)), le(X, c(1))))
+        assert not unsat((eq(X, c(2)), le(X, c(2)),))
+
+    def test_integer_tightening(self):
+        # 2x ≥ 1 ∧ 2x ≤ 1 has the rational solution x = 1/2 but no integer one.
+        two_x = X.scale(2)
+        assert unsat((ge(two_x, ONE), le(two_x, ONE)))
+
+    def test_disequality_split(self):
+        # x ≥ 0 ∧ x ≤ 0 ∧ x ≠ 0
+        assert unsat((ge(X, ZERO), le(X, ZERO), ne(X, ZERO)))
+        assert not unsat((ge(X, ZERO), ne(X, ZERO)))
+
+    def test_nat_nonzero_means_positive(self):
+        # x ≥ 0 ∧ x ≠ 0 ∧ x ≤ 0  — the ack branch-2 pattern.
+        assert unsat((ge(X, ZERO), ne(X, ZERO), le(X, ZERO)))
+
+
+class TestEntailment:
+    def setup_method(self):
+        self.s = Solver()
+
+    def test_le_entailment(self):
+        assert self.s.entails((ge(X, c(5)),), ge(X, c(3)))
+        assert not self.s.entails((ge(X, c(3)),), ge(X, c(5)))
+
+    def test_the_ack_descent_query(self):
+        """m ≥ 0 ∧ m ≠ 0 ⊨ m - 1 < m is trivial, but also ⊨ m - 1 ≥ 0
+        (the |m-1| = m-1 sign fact) — the §4.2 reasoning chain."""
+        facts = (ge(X, ZERO), ne(X, ZERO))
+        assert self.s.entails(facts, ge(X - ONE, ZERO))
+        assert self.s.entails(facts, lt(X - ONE, X))
+
+    def test_equality_entailment(self):
+        facts = (eq(X, Y), eq(Y, c(3)))
+        assert self.s.entails(facts, eq(X, c(3)))
+        assert not self.s.entails((eq(X, Y),), eq(X, c(3)))
+
+    def test_two_var_reasoning(self):
+        # x ≥ 1 ∧ y ≥ x ⊨ y ≥ 1
+        facts = (ge(X, ONE), ge(Y, X))
+        assert self.s.entails(facts, ge(Y, ONE))
+
+    def test_subtraction_descent(self):
+        # x ≥ y ∧ y ≥ 1 ⊨ x - y < x  (the div benchmark pattern)
+        facts = (ge(X, Y), ge(Y, ONE))
+        assert self.s.entails(facts, lt(X - Y, X))
+        assert self.s.entails(facts, ge(X - Y, ZERO))
+
+    def test_unknown_stays_unproven(self):
+        assert not self.s.entails((), lt(X, Y))
+        assert not self.s.entails((ge(X, ZERO),), lt(X.scale(2), X))
+
+    def test_satisfiable(self):
+        assert self.s.satisfiable((ge(X, ZERO),))
+        assert not self.s.satisfiable((ge(X, ONE), le(X, ZERO)))
+
+    def test_caching_consistency(self):
+        facts = (ge(X, c(5)),)
+        r1 = self.s.entails(facts, ge(X, c(3)))
+        r2 = self.s.entails(facts, ge(X, c(3)))
+        assert r1 == r2 is True
+
+
+# -- properties: validate against brute-force over small domains ----------------
+
+_small = st.integers(min_value=-3, max_value=3)
+
+
+@st.composite
+def _system(draw):
+    nvars = draw(st.integers(min_value=1, max_value=3))
+    names = ["x", "y", "z"][:nvars]
+    n_atoms = draw(st.integers(min_value=1, max_value=4))
+    atoms = []
+    for _ in range(n_atoms):
+        coeffs = {n: draw(_small) for n in names}
+        const = draw(st.integers(min_value=-4, max_value=4))
+        op = draw(st.sampled_from(["<=", "==", "!="]))
+        atoms.append(Atom(op, LinExpr(coeffs, const)))
+    return names, tuple(atoms)
+
+
+def _brute_force_sat(names, atoms, lo=-6, hi=6):
+    import itertools
+
+    for values in itertools.product(range(lo, hi + 1), repeat=len(names)):
+        env = dict(zip(names, values))
+        ok = True
+        for atom in atoms:
+            val = atom.expr.const + sum(
+                c * env[v] for v, c in atom.expr.coeffs.items()
+            )
+            if atom.op == "<=" and not val <= 0:
+                ok = False
+            elif atom.op == "==" and val != 0:
+                ok = False
+            elif atom.op == "!=" and val == 0:
+                ok = False
+            if not ok:
+                break
+        if ok:
+            return True
+    return False
+
+
+@settings(max_examples=300, deadline=None)
+@given(_system())
+def test_unsat_never_contradicts_a_witness(sys_):
+    """Soundness: if brute force finds a model in a small box, unsat must
+    not claim unsatisfiability."""
+    names, atoms = sys_
+    if _brute_force_sat(names, atoms):
+        assert not unsat(atoms)

@@ -1,0 +1,171 @@
+"""0-CFA and classic static SCT tests, including the §2.2 CPS-len story."""
+
+from repro.analysis import (
+    analyze_callgraph,
+    loop_entry_labels,
+    scp_check,
+    static_sct_check,
+)
+from repro.analysis.callgraph import TOP
+from repro.lang.parser import parse_program
+from repro.sct.graph import SCGraph, arc
+
+CPS_LEN = """
+(define (len l) (go l (lambda (x) x)))
+(define (go l k)
+  (cond [(empty? l) (k 0)]
+        [(cons? l) (go (rest l) (lambda (n) (k (+ 1 n))))]))
+(len '(2 1 5 9))
+"""
+
+
+def _label_of(graph, name):
+    for label, lam in graph.lambdas.items():
+        if lam.name == name:
+            return label
+    raise AssertionError(f"no lambda named {name}")
+
+
+class TestCallGraph:
+    def test_direct_recursion(self):
+        g = analyze_callgraph(parse_program(
+            "(define (f n) (if (zero? n) 0 (f (- n 1)))) (f 3)"))
+        f = _label_of(g, "f")
+        assert (f, f) in g.edges
+        assert (TOP, f) in g.edges
+
+    def test_mutual_recursion(self):
+        g = analyze_callgraph(parse_program("""
+        (define (e? n) (if (zero? n) #t (o? (- n 1))))
+        (define (o? n) (if (zero? n) #f (e? (- n 1))))
+        """))
+        e, o = _label_of(g, "e?"), _label_of(g, "o?")
+        assert (e, o) in g.edges and (o, e) in g.edges
+
+    def test_higher_order_flow(self):
+        g = analyze_callgraph(parse_program("""
+        (define (apply1 f x) (f x))
+        (define (inc n) (+ n 1))
+        (apply1 inc 3)
+        """))
+        ap, inc = _label_of(g, "apply1"), _label_of(g, "inc")
+        assert (ap, inc) in g.edges
+
+    def test_closures_through_data_structures(self):
+        g = analyze_callgraph(parse_program("""
+        (define (wrap f) (cons f '()))
+        (define (use p x) ((car p) x))
+        (define (id y) y)
+        (use (wrap id) 1)
+        """))
+        use, ident = _label_of(g, "use"), _label_of(g, "id")
+        assert (use, ident) in g.edges
+
+    def test_cps_len_continuation_self_loop(self):
+        """0-CFA conflates the continuations, creating the spurious k→k
+        edge of §2.2."""
+        g = analyze_callgraph(parse_program(CPS_LEN))
+        conts = [label for label, lam in g.lambdas.items()
+                 if lam.name is None and len(lam.params) == 1
+                 and label in {b for (_a, b) in g.edges}]
+        self_loops = [(a, b) for (a, b) in g.edges if a == b and a in conts]
+        assert self_loops, "expected the conflated continuation self-loop"
+
+    def test_loop_entries(self):
+        prog = parse_program("""
+        (define (once x) (+ x 1))
+        (define (loop n) (if (zero? n) 0 (loop (- n 1))))
+        (once (loop 3))
+        """)
+        entries = loop_entry_labels(prog)
+        g = analyze_callgraph(prog)
+        assert _label_of(g, "loop") in entries
+        assert _label_of(g, "once") not in entries
+
+
+class TestClassicStaticSCT:
+    def test_rev_passes(self):
+        r = static_sct_check(parse_program("""
+        (define (rev l) (r1 l '()))
+        (define (r1 l a) (if (null? l) a (r1 (cdr l) (cons (car l) a))))
+        """))
+        assert r.ok is True
+
+    def test_ack_passes(self):
+        r = static_sct_check(parse_program("""
+        (define (ack m n)
+          (cond [(= 0 m) (+ 1 n)]
+                [(= 0 n) (ack (- m 1) 1)]
+                [else (ack (- m 1) (ack m (- n 1)))]))
+        """))
+        assert r.ok is True
+
+    def test_no_descent_fails(self):
+        r = static_sct_check(parse_program("(define (f x) (f x))"))
+        assert r.ok is False
+        assert r.witness_graph.is_idempotent()
+
+    def test_cps_len_rejected_statically(self):
+        """The §2.2 headline: classic static SCT rejects CPS len (spurious
+        continuation loop), while the dynamic monitor accepts it (see
+        test_monitored_semantics)."""
+        r = static_sct_check(parse_program(CPS_LEN))
+        assert r.ok is False
+
+    def test_witness_is_the_continuation(self):
+        r = static_sct_check(parse_program(CPS_LEN))
+        # The witness is an anonymous λ (a continuation), not go/len.
+        assert r.witness_name.startswith("λ")
+
+    def test_mutual_descent(self):
+        r = static_sct_check(parse_program("""
+        (define (e? n) (if (zero? n) #t (o? (- n 1))))
+        (define (o? n) (if (zero? n) #f (e? (- n 1))))
+        """))
+        assert r.ok is True
+
+    def test_growing_accumulator_ok(self):
+        r = static_sct_check(parse_program("""
+        (define (f i x) (if (null? i) x (g (cdr i) x i)))
+        (define (g a b c) (f a (cons b c)))
+        """))
+        assert r.ok is True
+
+
+class TestLJBClosure:
+    def test_composition_found_across_edges(self):
+        # f→g: {0↓=0}, g→f: {0↓=0}: the f→f composition is weak-only.
+        edges = {
+            (1, 2): {SCGraph([arc(0, "=", 0)])},
+            (2, 1): {SCGraph([arc(0, "=", 0)])},
+        }
+        result = scp_check(edges)
+        assert result.ok is False
+
+    def test_cross_cycle_descent(self):
+        edges = {
+            (1, 2): {SCGraph([arc(0, "<", 0)])},
+            (2, 1): {SCGraph([arc(0, "=", 0)])},
+        }
+        assert scp_check(edges).ok is True
+
+    def test_late_left_compositions(self):
+        # Three-node cycle where the violating composition needs both
+        # directions of the worklist.
+        w = SCGraph([arc(0, "=", 0)])
+        edges = {(1, 2): {w}, (2, 3): {w}, (3, 1): {w}}
+        assert scp_check(edges).ok is False
+
+    def test_cap_returns_undetermined(self):
+        import itertools
+
+        # A dense multigraph that overflows a tiny cap.
+        labels = range(4)
+        arcs = [SCGraph([arc(i, "<", j)]) for i in range(2) for j in range(2)]
+        edges = {}
+        for a, b in itertools.product(labels, labels):
+            edges[(a, b)] = set(arcs)
+        assert scp_check(edges, max_graphs=10).ok is None
+
+    def test_empty_edges_hold(self):
+        assert scp_check({}).ok is True

@@ -1,0 +1,201 @@
+"""Unit tests for the symbolic-execution substrate: path conditions,
+arc proving, and primitive models."""
+
+from repro.solver.interface import Solver
+from repro.solver.linear import LinExpr, ge
+from repro.sct.order import DESC, EQ, NONE
+from repro.symbolic.arcs import as_linexpr, relate
+from repro.symbolic.pathcond import K_INT, K_NIL, K_PAIR, PathCond
+from repro.symbolic.prims_model import PrimModels
+from repro.symbolic.values import SExpr, STest, SVar
+from repro.lang.prims import PRIMITIVES
+from repro.sexp.datum import intern
+from repro.values.values import NIL, Pair
+
+ZERO = LinExpr.constant(0)
+
+
+def prim(name: str):
+    return PRIMITIVES[intern(name)]
+
+
+class TestPathCond:
+    def test_assume_dedupes(self):
+        pc = PathCond()
+        atom = ge(LinExpr.var("x"), ZERO)
+        pc1 = pc.assume(atom)
+        assert pc1.assume(atom) is pc1
+        assert len(pc1.atoms) == 1
+
+    def test_refine_conflict_kills_path(self):
+        pc = PathCond().refine("u", K_PAIR)
+        assert pc.refine("u", K_NIL) is None
+        assert pc.refine("u", K_PAIR) is pc
+
+    def test_feasibility(self):
+        solver = Solver()
+        x = LinExpr.var("x")
+        pc = PathCond().assume(ge(x, LinExpr.constant(5)))
+        assert pc.feasible(solver)
+        pc2 = pc.assume(ge(LinExpr.constant(3), x))
+        assert not pc2.feasible(solver)
+
+    def test_substructure_transitive(self):
+        pc = PathCond()
+        pc = pc.with_node("l", SVar("l.a"), SVar("l.d"), ("l.a", "l.d"))
+        pc = pc.with_node("l.d", SVar("l.d.a"), SVar("l.d.d"),
+                          ("l.d.a", "l.d.d"))
+        assert pc.descends_to("l.d", "l")
+        assert pc.descends_to("l.d.d", "l")
+        assert not pc.descends_to("l", "l.d")
+
+
+class TestRelate:
+    def setup_method(self):
+        self.solver = Solver()
+
+    def test_same_symbol_is_equal(self):
+        v = SVar("v")
+        assert relate(v, v, PathCond(), self.solver) == EQ
+
+    def test_proved_integer_descent(self):
+        pc = PathCond().refine("m", K_INT)
+        pc = pc.assume(ge(LinExpr.var("m"), LinExpr.constant(1)))
+        old = SVar("m")
+        new = SExpr(LinExpr.var("m").plus_const(-1))
+        assert relate(old, new, pc, self.solver) == DESC
+
+    def test_unknown_sign_no_arc(self):
+        pc = PathCond().refine("m", K_INT)
+        old = SVar("m")
+        new = SExpr(LinExpr.var("m").plus_const(-1))
+        assert relate(old, new, pc, self.solver) == NONE
+
+    def test_substructure_descent(self):
+        pc = PathCond().refine("l", K_PAIR)
+        cdr = SVar("l.d")
+        pc = pc.with_node("l", SVar("l.a"), cdr, ("l.a", "l.d"))
+        assert relate(SVar("l"), cdr, pc, self.solver) == DESC
+
+    def test_nil_below_pair(self):
+        pc = PathCond().refine("l", K_PAIR)
+        assert relate(SVar("l"), NIL, pc, self.solver) == DESC
+
+    def test_concrete_fallback(self):
+        assert relate(5, 3, PathCond(), self.solver) == DESC
+        assert relate(Pair(1, NIL), Pair(1, NIL), PathCond(), self.solver) == EQ
+
+    def test_as_linexpr_kinds(self):
+        pc = PathCond().refine("p", K_PAIR)
+        assert as_linexpr(SVar("p"), pc) is None
+        assert as_linexpr(7, pc).const == 7
+        assert as_linexpr(SVar("fresh"), pc) is not None  # unknown: int view
+
+
+class TestPrimModels:
+    def setup_method(self):
+        self.solver = Solver()
+        self.models = PrimModels(self.solver)
+
+    def _one(self, name, args, pc=None):
+        results = self.models.apply(prim(name), args, pc or PathCond())
+        assert len(results) == 1, results
+        return results[0]
+
+    def test_ground_falls_through(self):
+        value, _ = self._one("+", [2, 3])
+        assert value == 5
+
+    def test_ground_error_prunes(self):
+        assert self.models.apply(prim("car"), [5], PathCond()) == []
+
+    def test_affine_arithmetic(self):
+        x = SVar("x")
+        value, pc = self._one("+", [x, 3])
+        assert isinstance(value, SExpr)
+        assert value.expr.coeffs == {"x": 1} and value.expr.const == 3
+        assert pc.kind_of("x") == K_INT
+
+    def test_mul_by_const_stays_linear(self):
+        x = SVar("x")
+        value, _ = self._one("*", [2, x])
+        assert isinstance(value, SExpr) and value.expr.coeffs == {"x": 2}
+
+    def test_var_product_is_opaque(self):
+        value, _ = self._one("*", [SVar("x"), SVar("y")])
+        assert isinstance(value, SVar)  # havoc
+
+    def test_quotient_uninterpreted(self):
+        value, _ = self._one("quotient", [SVar("x"), 2])
+        assert isinstance(value, SVar)
+
+    def test_comparison_becomes_atom(self):
+        value, _ = self._one("<", [SVar("x"), 5])
+        assert isinstance(value, STest)
+
+    def test_null_forks_unknown(self):
+        results = self.models.apply(prim("null?"), [SVar("u")], PathCond())
+        outcomes = {v for v, _ in results}
+        assert outcomes == {True, False}
+        yes = next(p for v, p in results if v is True)
+        assert yes.kind_of("u") == K_NIL
+
+    def test_null_respects_known_kind(self):
+        pc = PathCond().refine("u", K_PAIR)
+        results = self.models.apply(prim("null?"), [SVar("u")], pc)
+        assert [v for v, _ in results] == [False]
+
+    def test_car_materializes_heap(self):
+        results = self.models.apply(prim("car"), [SVar("l")], PathCond())
+        [(value, pc)] = results
+        assert isinstance(value, SVar)
+        assert pc.kind_of("l") == K_PAIR
+        assert pc.descends_to(value.name, "l")
+
+    def test_car_on_nil_prunes(self):
+        pc = PathCond().refine("l", K_NIL)
+        assert self.models.apply(prim("car"), [SVar("l")], pc) == []
+
+    def test_cadr_chain(self):
+        [(value, pc)] = self.models.apply(prim("cadr"), [SVar("l")], PathCond())
+        assert pc.descends_to(value.name, "l")
+
+    def test_cons_records_children(self):
+        x = SVar("x")
+        [(node, pc)] = self.models.apply(prim("cons"), [x, NIL], PathCond())
+        assert pc.kind_of(node.name) == K_PAIR
+        assert pc.descends_to("x", node.name)
+
+    def test_hash_ref_case_splits(self):
+        from repro.values.values import HashValue
+
+        table = HashValue.empty().set(intern("a"), 1).set(intern("b"), 2)
+        results = self.models.apply(prim("hash-ref"), [table, SVar("k")],
+                                    PathCond())
+        assert {v for v, _ in results} == {1, 2}
+
+    def test_error_prunes(self):
+        assert self.models.apply(prim("error"), [SVar("x")], PathCond()) == []
+
+    def test_length_is_a_nat(self):
+        [(value, pc)] = self.models.apply(prim("length"), [SVar("l")],
+                                          PathCond())
+        solver = Solver()
+        assert pc.entails(solver, ge(LinExpr.var(value.name), ZERO))
+
+    def test_abs_with_known_sign(self):
+        pc = PathCond().refine("x", K_INT)
+        pc = pc.assume(ge(ZERO, LinExpr.var("x")))  # x ≤ 0
+        [(value, _)] = self.models.apply(prim("abs"), [SVar("x")], pc)
+        assert isinstance(value, SExpr)
+        assert value.expr.coeffs == {"x": -1}
+
+    def test_not_on_test(self):
+        test = STest(ge(LinExpr.var("x"), ZERO))
+        [(value, _)] = self.models.apply(prim("not"), [test], PathCond())
+        assert isinstance(value, STest)
+
+    def test_equal_on_ints_becomes_atom(self):
+        [(value, _)] = self.models.apply(prim("equal?"), [SVar("x"), 3],
+                                         PathCond())
+        assert isinstance(value, STest)

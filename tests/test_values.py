@@ -1,0 +1,205 @@
+"""Value model tests: sizes, memoization, equality, conversions."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sexp.datum import Char, intern
+from repro.values.env import Env, GlobalEnv, UnboundVariable
+from repro.values.equality import scheme_equal, scheme_eqv, value_hash
+from repro.values.values import (
+    NIL,
+    VOID,
+    Box,
+    HashValue,
+    Pair,
+    cons,
+    from_datum,
+    list_to_python,
+    python_to_list,
+    size_of,
+    value_to_datum,
+    write_value,
+)
+
+import pytest
+
+
+class TestSizes:
+    def test_int_size_is_abs(self):
+        assert size_of(5) == 5
+        assert size_of(-5) == 5
+        assert size_of(0) == 0
+
+    def test_bool_size(self):
+        assert size_of(True) == 1
+        assert size_of(False) == 1
+
+    def test_float_has_no_size(self):
+        assert size_of(1.5) is None
+
+    def test_nil(self):
+        assert size_of(NIL) == 0
+
+    def test_pair_size_memoized(self):
+        p = cons(1, cons(2, NIL))
+        assert p.size == 1 + 1 + (1 + 2 + 0)
+        assert size_of(p) == p.size
+
+    def test_tail_smaller_than_list(self):
+        lst = python_to_list([1, 2, 3])
+        assert size_of(lst.cdr) < size_of(lst)
+
+    def test_string_size_is_length(self):
+        assert size_of("abc") == 3
+
+    def test_atom_sizes(self):
+        assert size_of(intern("s")) == 1
+        assert size_of(Char("x")) == 1
+
+    def test_hash_size_counts_entries(self):
+        h0 = HashValue.empty()
+        h1 = h0.set(intern("a"), 5)
+        assert h1.size > h0.size
+
+
+class TestEquality:
+    def test_eqv_numbers(self):
+        assert scheme_eqv(3, 3)
+        assert not scheme_eqv(3, 4)
+        assert not scheme_eqv(3, 3.0)
+
+    def test_bool_is_not_int(self):
+        assert not scheme_eqv(True, 1)
+        assert not scheme_equal(False, 0)
+
+    def test_symbols(self):
+        assert scheme_eqv(intern("a"), intern("a"))
+        assert not scheme_eqv(intern("a"), intern("b"))
+
+    def test_chars(self):
+        assert scheme_eqv(Char("a"), Char("a"))
+        assert not scheme_eqv(Char("a"), Char("b"))
+
+    def test_pairs_structural(self):
+        a = from_datum([1, [2, 3]])
+        # build an equal structure separately
+        b = cons(1, cons(cons(2, cons(3, NIL)), NIL))
+        assert scheme_equal(a, b)
+        assert not scheme_eqv(a, b)
+
+    def test_unequal_pairs(self):
+        assert not scheme_equal(python_to_list([1, 2]), python_to_list([1, 3]))
+        assert not scheme_equal(python_to_list([1, 2]), python_to_list([1, 2, 3]))
+
+    def test_pair_vs_other(self):
+        assert not scheme_equal(cons(1, NIL), 1)
+        assert not scheme_equal(NIL, False)
+
+    def test_strings(self):
+        assert scheme_equal("ab", "ab")
+        assert not scheme_equal("ab", "ba")
+
+    def test_hash_equal(self):
+        h1 = HashValue.empty().set(intern("a"), 1).set(intern("b"), 2)
+        h2 = HashValue.empty().set(intern("b"), 2).set(intern("a"), 1)
+        assert scheme_equal(h1, h2)
+        assert not scheme_equal(h1, h1.set(intern("c"), 3))
+
+    def test_hash_structural_keys(self):
+        key1 = python_to_list([1, 2])
+        key2 = python_to_list([1, 2])
+        h = HashValue.empty().set(key1, "v")
+        assert h.get(key2, None) == "v"
+
+    def test_value_hash_consistent_with_equal(self):
+        a = python_to_list([1, "x", intern("s")])
+        b = python_to_list([1, "x", intern("s")])
+        assert scheme_equal(a, b)
+        assert value_hash(a) == value_hash(b)
+
+
+class TestConversions:
+    def test_from_datum_list(self):
+        v = from_datum([1, 2])
+        assert type(v) is Pair and v.car == 1 and v.cdr.car == 2 and v.cdr.cdr is NIL
+
+    def test_roundtrip(self):
+        datum = [1, [intern("a"), "s"], Char("c"), True]
+        assert value_to_datum(from_datum(datum)) == datum
+
+    def test_list_to_python_rejects_improper(self):
+        with pytest.raises(ValueError):
+            list_to_python(cons(1, 2))
+
+
+class TestWrite:
+    @pytest.mark.parametrize(
+        "value,expected",
+        [
+            (True, "#t"),
+            (False, "#f"),
+            (NIL, "()"),
+            (VOID, "#<void>"),
+            (intern("sym"), "sym"),
+            ("hi", '"hi"'),
+            (Char("a"), "#\\a"),
+            (cons(1, 2), "(1 . 2)"),
+        ],
+    )
+    def test_write(self, value, expected):
+        assert write_value(value) == expected
+
+    def test_write_list(self):
+        assert write_value(python_to_list([1, 2, 3])) == "(1 2 3)"
+
+    def test_box_repr(self):
+        assert "5" in repr(Box(5))
+
+
+class TestEnv:
+    def test_global_define_lookup(self):
+        g = GlobalEnv()
+        g.define(intern("x"), 1)
+        assert g.lookup(intern("x")) == 1
+
+    def test_global_unbound(self):
+        with pytest.raises(UnboundVariable):
+            GlobalEnv().lookup(intern("nope"))
+
+    def test_chained_lookup(self):
+        g = GlobalEnv({intern("x"): 1})
+        e = Env({intern("y"): 2}, g)
+        e2 = Env({intern("y"): 3}, e)
+        assert e2.lookup(intern("y")) == 3
+        assert e.lookup(intern("y")) == 2
+        assert e2.lookup(intern("x")) == 1
+
+    def test_set_walks_chain(self):
+        g = GlobalEnv({intern("x"): 1})
+        e = Env({intern("y") : 2}, g)
+        e.set(intern("x"), 10)
+        assert g.lookup(intern("x")) == 10
+
+    def test_set_unbound_raises(self):
+        with pytest.raises(UnboundVariable):
+            Env({}, GlobalEnv()).set(intern("zz"), 1)
+
+    def test_snapshot_isolates(self):
+        g = GlobalEnv({intern("x"): 1})
+        s = g.snapshot()
+        s.define(intern("x"), 99)
+        assert g.lookup(intern("x")) == 1
+
+
+@settings(max_examples=100, deadline=None)
+@given(st.recursive(
+    st.one_of(st.integers(-50, 50), st.booleans(), st.text(max_size=3)),
+    lambda inner: st.lists(inner, max_size=3),
+    max_leaves=15,
+))
+def test_size_positive_and_equal_structures_share_size(datum):
+    v1 = from_datum(datum)
+    v2 = from_datum(datum)
+    assert scheme_equal(v1, v2)
+    assert size_of(v1) == size_of(v2)
+    assert size_of(v1) >= 0

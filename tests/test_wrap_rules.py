@@ -1,0 +1,57 @@
+"""The term/c wrapping rules of Fig. 7/Fig. 13, individually."""
+
+from repro.eval.machine import Answer, run_source
+from repro.values.values import Prim, TermWrapped
+
+
+def val(src, **kw):
+    a = run_source(src, mode="contract", **kw)
+    assert a.kind == Answer.VALUE, repr(a)
+    return a.value
+
+
+class TestWrapRules:
+    def test_wrap_lam_produces_wrapped_closure(self):
+        v = val("(terminating/c (lambda (x) x))")
+        assert isinstance(v, TermWrapped)
+
+    def test_wrap_prim_is_identity(self):
+        """[Wrap-Prim]: primitives are already known-terminating."""
+        v = val("(terminating/c car)")
+        assert isinstance(v, Prim) and v.name == "car"
+
+    def test_wrap_base_is_identity(self):
+        assert val("(terminating/c 42)") == 42
+        assert val("(terminating/c 'sym)").name == "sym"
+
+    def test_double_wrap_keeps_first_label(self):
+        v = val('(terminating/c (terminating/c (lambda (x) x) "inner") "outer")')
+        assert isinstance(v, TermWrapped)
+        assert not isinstance(v.closure, TermWrapped)
+        assert v.blame == "inner"
+
+    def test_wrapped_value_is_a_procedure(self):
+        assert val("(procedure? (terminating/c (lambda (x) x)))") is True
+
+    def test_wrapped_value_applies_like_the_closure(self):
+        assert val("((terminating/c (lambda (x) (* x x))) 7)") == 49
+
+    def test_default_blame_is_source_location(self):
+        a = run_source("(define f (terminating/c (lambda (x) (f x)))) (f 1)",
+                       mode="contract")
+        assert a.kind == Answer.SC_ERROR
+        assert "term/c@" in a.violation.blame
+
+    def test_off_mode_wrap_transparent(self):
+        a = run_source("((terminating/c (lambda (x) (+ x 1))) 2)", mode="off")
+        assert a.kind == Answer.VALUE and a.value == 3
+
+    def test_sc_wrap_inside_monitored_extent(self):
+        """[SC-Wrap-Lam]: term/c evaluated while already monitoring still
+        wraps, and [SC-App-Term] continues with the same table."""
+        src = """
+        (define (make) (terminating/c (lambda (n) (if (zero? n) 0 ((make) (- n 1))))))
+        ((make) 4)
+        """
+        a = run_source(src, mode="full")
+        assert a.kind == Answer.VALUE and a.value == 0
