@@ -1,0 +1,21 @@
+PYTHON ?= python
+export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
+
+.PHONY: test bench bench-quick docs
+
+# Tier-1 verification: the full claim-backing test suite.
+test:
+	$(PYTHON) -m pytest -x -q
+
+# Machine-readable benchmark cells (pytest-benchmark).
+bench:
+	$(PYTHON) -m pytest benchmarks/ --benchmark-only
+
+# The engine-comparison report alone (fast smoke, used by CI).
+bench-quick:
+	$(PYTHON) -m repro bench compose --scale quick
+
+# The documentation set worth (re)reading, in order.
+docs:
+	@ls README.md docs/architecture.md CHANGES.md ROADMAP.md
+	@echo "open README.md for the claims map; docs/architecture.md for the layer map"

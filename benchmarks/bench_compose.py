@@ -1,0 +1,80 @@
+"""Benchmark cells for the bitmask graph engine vs the frozenset
+reference (same tiers as ``python -m repro bench compose``).
+
+Group names collect the two engines of each tier side by side, so the
+pytest-benchmark table *is* the engine-comparison report:
+
+* ``compose:chain-mN``  — raw ``;`` throughput at arity N,
+* ``compose:monitor``   — the monitor's ``upd`` on a lexicographic
+  countdown (composition-set maintenance + ``desc?`` per call),
+* ``compose:scp``       — the LJB worklist closure of a dense synthetic
+  call multigraph.
+"""
+
+import pytest
+
+from repro.analysis.ljb import scp_check
+from repro.bench.compose_bench import (
+    _dense_edges,
+    _graph_population,
+    countdown_args,
+)
+from repro.ds.hamt import Hamt
+from repro.lang.ast import Lam, Lit
+from repro.sct import bitgraph
+from repro.sct.graph import compose_run
+from repro.sct.monitor import SCMonitor
+from repro.sexp.datum import intern
+from repro.values.env import GlobalEnv
+from repro.values.values import Closure
+
+ENGINES = ["reference", "bitmask"]
+
+
+@pytest.mark.parametrize("engine", ENGINES)
+@pytest.mark.parametrize("m", [2, 4, 8])
+def test_compose_chain(benchmark, m, engine):
+    benchmark.group = f"compose:chain-m{m}"
+    benchmark.name = engine
+    graphs = _graph_population(m, 1000)
+    if engine == "reference":
+        benchmark(lambda: compose_run(graphs))
+    else:
+        mk = bitgraph.masks(m)
+        packed = [bitgraph.pack(g, m) for g in graphs]
+
+        def run():
+            s, w = packed[0]
+            for (s1, w1) in packed[1:]:
+                s, w = bitgraph.compose(mk, s, w, s1, w1)
+            return s, w
+
+        benchmark(run)
+
+
+@pytest.mark.parametrize("engine", ENGINES)
+def test_monitor_prog_check(benchmark, engine):
+    benchmark.group = "compose:monitor"
+    benchmark.name = engine
+    arity = 6
+    seq = countdown_args(arity, 3, 200)
+    params = tuple(intern(f"p{i}") for i in range(arity))
+    clo = Closure(Lam(params, Lit(1), name="bench"), GlobalEnv())
+
+    def run():
+        monitor = SCMonitor(engine=engine)
+        table = Hamt.empty()
+        for args in seq:
+            table = monitor.upd(table, clo, args, None)
+        return table
+
+    benchmark(run)
+
+
+@pytest.mark.parametrize("engine", ENGINES)
+def test_scp_closure(benchmark, engine):
+    benchmark.group = "compose:scp"
+    benchmark.name = engine
+    edges = _dense_edges(3, 3, 2)
+    result = benchmark(lambda: scp_check(edges, engine=engine))
+    assert result.ok is True

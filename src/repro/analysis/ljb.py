@@ -9,13 +9,37 @@ with everything currently to its right *and* to its left, so late arrivals
 still meet earlier graphs); graph sets per edge are finite, and a
 configurable cap guards against pathological blowup (reported as
 "undetermined" rather than as a verdict).
+
+Two engines run the same worklist:
+
+* ``'bitmask'`` (default) packs every graph into a ``(strict, weak)`` int
+  pair (:mod:`repro.sct.bitgraph`) at the smallest arity covering the
+  input edges, and keeps an **interned-graph table** so each distinct
+  packed graph exists once — dedup during the closure is a hash of two
+  machine ints instead of a frozenset of tuples.  The witness handed back
+  in :class:`SCPResult` is unpacked to a reference
+  :class:`~repro.sct.graph.SCGraph`.
+* ``'reference'`` composes the frozenset graphs directly, exactly as the
+  paper writes it; kept for spec-conformance property tests.
+
+Packing is injective below the chosen arity, so a closure that runs to
+its fixpoint visits graph-for-graph the same set under both engines:
+verdicts and ``total_graphs`` coincide exactly on completed runs (True)
+and on violations found at the fixpoint.  Runs that stop early — a
+violation met mid-closure, or the ``max_graphs`` cap — may differ in
+*which* sound answer they report (one engine can find a witness before
+the cap the other blows), because set iteration order differs between
+the two graph representations.  Either answer is correct: a ``False``
+always carries a genuine SCP counterexample, a ``None`` is always just
+"undetermined".
 """
 
 from __future__ import annotations
 
 from collections import deque
-from typing import Dict, List, Optional, Set, Tuple
+from typing import Dict, Optional, Set, Tuple
 
+from repro.sct import bitgraph
 from repro.sct.graph import SCGraph
 
 Edge = Tuple[int, int]
@@ -37,13 +61,17 @@ class SCPResult:
 
 
 class _Closure:
+    """Worklist state shared by both engines: per-edge graph sets plus
+    source/target adjacency.  Graphs are whatever the engine composes —
+    ``SCGraph`` objects or interned packed int pairs."""
+
     def __init__(self):
-        self.graphs: Dict[Edge, Set[SCGraph]] = {}
+        self.graphs: Dict[Edge, Set] = {}
         self.by_source: Dict[int, Set[int]] = {}
         self.by_target: Dict[int, Set[int]] = {}
         self.total = 0
 
-    def add(self, edge: Edge, graph: SCGraph) -> bool:
+    def add(self, edge: Edge, graph) -> bool:
         bucket = self.graphs.setdefault(edge, set())
         if graph in bucket:
             return False
@@ -54,8 +82,103 @@ class _Closure:
         return True
 
 
-def scp_check(edges: Dict[Edge, Set[SCGraph]], max_graphs: int = 20000) -> SCPResult:
+def scp_check(edges: Dict[Edge, Set[SCGraph]], max_graphs: int = 20000,
+              engine: str = "bitmask") -> SCPResult:
     """Close ``edges`` under composition and check the SCP."""
+    if engine == "reference":
+        return _scp_check_reference(edges, max_graphs)
+    if engine != "bitmask":
+        raise ValueError(f"unknown graph engine: {engine!r}")
+    return _scp_check_bitmask(edges, max_graphs)
+
+
+def _scp_check_bitmask(edges: Dict[Edge, Set[SCGraph]],
+                       max_graphs: int) -> SCPResult:
+    m = 1
+    for graphs in edges.values():
+        for graph in graphs:
+            arity = bitgraph.required_arity(graph)
+            if arity > m:
+                m = arity
+    mk = bitgraph.masks(m)
+    compose_left = bitgraph.compose_left
+    compose_right = bitgraph.compose_right
+    diag = mk.diag
+
+    # The interned-graph table: every packed graph the closure touches is
+    # funneled through here, so equal graphs share one tuple and set
+    # membership hits the identity fast path.
+    interned: Dict[Tuple[int, int], Tuple[int, int]] = {}
+
+    def intern(packed):
+        return interned.setdefault(packed, packed)
+
+    # The worklist meets most compositions twice — once when the left
+    # graph pops with the right already placed, once the other way
+    # around.  The composition event ``(f, g, h, G, H)`` (edge context
+    # plus interned operands) is a perfect memo key: the second meeting
+    # would re-derive a graph the first already added to ``(f, h)``, so
+    # it is skipped outright.  The memo is a pure optimization
+    # (``state.add`` already makes re-derivations harmless), so it stops
+    # growing at a bound tied to the graph cap rather than letting a
+    # pathological closure hold every event it ever performed.
+    seen_pairs = set()
+    memo_cap = 64 * max_graphs
+
+    state = _Closure()
+    queue = deque()
+    for edge, graphs in edges.items():
+        for graph in graphs:
+            packed = intern(bitgraph.pack(graph, m))
+            if state.add(edge, packed):
+                queue.append((edge, packed))
+
+    while queue:
+        (f, g), (Gs, Gw) = queue.popleft()
+        if (f == g and not (Gs & diag)
+                and bitgraph.is_idempotent(mk, Gs, Gw)):
+            return SCPResult(False, witness_label=f,
+                             witness_graph=bitgraph.unpack(mk, Gs, Gw),
+                             total_graphs=state.total)
+        # A pop only mutates buckets it is iterating when it sits on a
+        # self-loop (f == g); everything else can walk the live sets.
+        snap = (lambda it: list(it)) if f == g else (lambda it: it)
+        # Compose to the right: G ; H for H on (g, h).  G is the fixed
+        # left operand, so its column masks are extracted once.
+        left = bitgraph.left_factor(mk, Gs, Gw)
+        G = (Gs, Gw)
+        for h in snap(state.by_source.get(g, ())):
+            target = (f, h)
+            for H in snap(state.graphs.get((g, h), ())):
+                pair = (f, g, h, G, H)
+                if pair in seen_pairs:
+                    continue
+                if len(seen_pairs) < memo_cap:
+                    seen_pairs.add(pair)
+                composed = intern(compose_left(mk, left, H[0], H[1]))
+                if state.add(target, composed):
+                    queue.append((target, composed))
+        # Compose to the left: E ; G for E on (e, f) — G's row masks,
+        # extracted once, dual to the above.
+        right = bitgraph.right_factor(mk, Gs, Gw)
+        for e in snap(state.by_target.get(f, ())):
+            source = (e, g)
+            for E in snap(state.graphs.get((e, f), ())):
+                pair = (e, f, g, E, G)
+                if pair in seen_pairs:
+                    continue
+                if len(seen_pairs) < memo_cap:
+                    seen_pairs.add(pair)
+                composed = intern(compose_right(mk, E[0], E[1], right))
+                if state.add(source, composed):
+                    queue.append((source, composed))
+        if state.total > max_graphs:
+            return SCPResult(None, total_graphs=state.total)
+    return SCPResult(True, total_graphs=state.total)
+
+
+def _scp_check_reference(edges: Dict[Edge, Set[SCGraph]],
+                         max_graphs: int) -> SCPResult:
     state = _Closure()
     queue = deque()
     for edge, graphs in edges.items():

@@ -69,8 +69,14 @@ def _syntactic_relation(arg: ast.Node, param: Symbol) -> Optional[bool]:
     return None
 
 
-def static_sct_check(program: Program) -> StaticSCTResult:
-    """Run phases 1 and 2; ``ok=None`` when the closure blows its cap."""
+def static_sct_check(program: Program,
+                     engine: str = "bitmask") -> StaticSCTResult:
+    """Run phases 1 and 2; ``ok=None`` when the closure blows its cap.
+
+    ``engine`` selects the phase-2 closure representation (see
+    :func:`repro.analysis.ljb.scp_check`): packed bitmask graphs by
+    default, the frozenset reference on request.
+    """
     graph = analyze_callgraph(program)
     edges: Dict[Tuple[int, int], Set[SCGraph]] = {}
     for app, owner in _apps_with_owner(program):
@@ -88,7 +94,7 @@ def static_sct_check(program: Program) -> StaticSCTResult:
                     if rel is not None:
                         arcs.append((i, rel, j))
             edges.setdefault((owner, callee_label), set()).add(SCGraph(arcs))
-    scp = scp_check(edges)
+    scp = scp_check(edges, engine=engine)
     if scp.ok is False:
         return StaticSCTResult(
             False,

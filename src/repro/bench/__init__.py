@@ -9,9 +9,13 @@
 * :mod:`repro.bench.ablation` — the §5 implementation-choice knobs
   (keying, backoff, loop entries, order, strategy),
 * :mod:`repro.bench.mc_ablation` — the §6.2 monotonicity-constraint
-  extension (static precision vs SC, dynamic overhead).
+  extension (static precision vs SC, dynamic overhead),
+* :mod:`repro.bench.compose_bench` — the bitmask graph engine vs the
+  frozenset reference on compose-heavy workloads (the perf trajectory
+  of this reproduction's own hot path).
 """
 
+from repro.bench.compose_bench import run_compose, render_compose
 from repro.bench.table1 import run_table1, render_table1
 from repro.bench.fig10 import run_fig10, render_fig10
 from repro.bench.divergence import run_divergence, render_divergence
@@ -28,4 +32,5 @@ __all__ = [
     "run_divergence", "render_divergence",
     "run_ablation", "render_ablation",
     "run_mc_static", "run_mc_dynamic", "render_mc",
+    "run_compose", "render_compose",
 ]

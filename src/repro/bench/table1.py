@@ -39,10 +39,17 @@ class Table1Row:
         return dyn_match and static_match
 
 
-def run_table1(max_steps: int = 50_000_000) -> List[Table1Row]:
+def run_table1(max_steps: int = 50_000_000,
+               engine: str = "bitmask") -> List[Table1Row]:
+    """``engine`` selects the monitor's graph representation (see
+    :mod:`repro.sct.bitgraph`); the monitor raises on exactly the same
+    call sequences under either engine (property-tested), so the knob
+    exists to keep the bitmask/reference perf gap measurable on the full
+    corpus (``python -m repro bench compose`` for the dedicated
+    microbenchmarks)."""
     rows = []
     for prog in all_programs():
-        monitor = SCMonitor(measures=prog.measures)
+        monitor = SCMonitor(measures=prog.measures, engine=engine)
         answer = run_source(prog.source, mode="full", monitor=monitor,
                             max_steps=max_steps)
         dyn_ok = (answer.kind == Answer.VALUE

@@ -3,17 +3,24 @@
 Subcommands::
 
     sized run FILE [--mode off|contract|full] [--strategy cm|imperative]
-                   [--backoff] [--mc] [--max-steps N]
+                   [--backoff] [--mc] [--engine bitmask|reference]
+                   [--max-steps N]
     sized verify FILE --entry NAME [--kinds nat,nat] [--result-kind nat]
                       [--mc]
     sized trace FILE [--mode full|contract] [--mc] [--max-steps N]
                      [--max-depth N] [--max-nodes N]
-    sized bench table1|fig10|divergence|ablation [--scale quick|full]
+    sized bench table1|fig10|divergence|ablation|mc|compose
+                [--scale quick|full]
     sized corpus [--diverging]
 
 ``--mc`` switches the evidence from size-change graphs to monotonicity-
 constraint graphs (the paper's §6.2 future-work extension): counting-up-
 to-a-ceiling loops pass without custom measures.
+
+``--engine`` selects the size-change graph representation the monitor
+composes: ``bitmask`` (default, two machine ints per graph) or
+``reference`` (the paper's frozenset of arcs).  Both raise on the same
+call sequences; ``sized bench compose`` measures the gap.
 """
 
 from __future__ import annotations
@@ -42,6 +49,9 @@ def main(argv: Optional[List[str]] = None) -> int:
     p_run.add_argument("--backoff", action="store_true")
     p_run.add_argument("--mc", action="store_true",
                        help="monitor with monotonicity-constraint graphs")
+    p_run.add_argument("--engine", choices=["bitmask", "reference"],
+                       default="bitmask",
+                       help="size-change graph representation to compose")
     p_run.add_argument("--max-steps", type=int, default=None)
 
     p_verify = sub.add_parser("verify", help="statically verify termination")
@@ -60,6 +70,8 @@ def main(argv: Optional[List[str]] = None) -> int:
     p_trace.add_argument("--mode", choices=["contract", "full"],
                          default="full")
     p_trace.add_argument("--mc", action="store_true")
+    p_trace.add_argument("--engine", choices=["bitmask", "reference"],
+                         default="bitmask")
     p_trace.add_argument("--max-steps", type=int, default=None)
     p_trace.add_argument("--max-depth", type=int, default=None)
     p_trace.add_argument("--max-nodes", type=int, default=200)
@@ -67,7 +79,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     p_bench = sub.add_parser("bench", help="regenerate a table or figure")
     p_bench.add_argument("which",
                          choices=["table1", "fig10", "divergence", "ablation",
-                                  "mc"])
+                                  "mc", "compose"])
     p_bench.add_argument("--scale", choices=["quick", "full"], default="quick")
     p_bench.add_argument("--repeats", type=int, default=3)
 
@@ -99,7 +111,8 @@ def _make_monitor(mc: bool, **options):
 def _cmd_run(args) -> int:
     with open(args.file) as f:
         source = f.read()
-    monitor = _make_monitor(args.mc, backoff=args.backoff)
+    monitor = _make_monitor(args.mc, backoff=args.backoff,
+                            engine=args.engine)
     answer = run_source(source, mode=args.mode, strategy=args.strategy,
                         monitor=monitor, max_steps=args.max_steps,
                         source=args.file)
@@ -140,7 +153,8 @@ def _cmd_trace(args) -> int:
 
     with open(args.file) as f:
         source = f.read()
-    result = trace_source(source, monitor=_make_monitor(args.mc),
+    result = trace_source(source,
+                          monitor=_make_monitor(args.mc, engine=args.engine),
                           mode=args.mode, max_steps=args.max_steps)
     print(render_tree(result.roots, max_depth=args.max_depth,
                       max_nodes=args.max_nodes))
@@ -177,6 +191,11 @@ def _cmd_bench(args) -> int:
         print(render_mc(run_mc_static(),
                         run_mc_dynamic(scale=args.scale,
                                        repeats=args.repeats)))
+    elif args.which == "compose":
+        from repro.bench import render_compose, run_compose
+
+        print(render_compose(run_compose(scale=args.scale,
+                                         repeats=args.repeats)))
     else:
         from repro.bench import render_ablation, run_ablation
 

@@ -8,6 +8,12 @@ MC-specific rules:
   the spurious loops plain SCT trips over;
 * the local check is :meth:`repro.mc.graph.MCGraph.desc_ok` — strict
   self-descent *or* a bounded-ascent witness.
+
+The worklist runs over the packed (bitmask) :class:`MCGraph`
+representation and funnels every composition through an **interned-graph
+table**, so each distinct closed graph exists once per closure run:
+duplicate detection is a dict probe on two big ints, and repeat
+compositions hit the identity fast path in ``MCGraph.__eq__``.
 """
 
 from __future__ import annotations
@@ -43,6 +49,11 @@ class _Closure:
         self.by_source: Dict[int, Set[int]] = {}
         self.by_target: Dict[int, Set[int]] = {}
         self.total = 0
+        self._interned: Dict[MCGraph, MCGraph] = {}
+
+    def intern(self, graph: MCGraph) -> MCGraph:
+        """The canonical instance of ``graph`` for this closure run."""
+        return self._interned.setdefault(graph, graph)
 
     def add(self, edge: Edge, graph: MCGraph) -> bool:
         bucket = self.graphs.setdefault(edge, set())
@@ -65,6 +76,7 @@ def mc_check(edges: Dict[Edge, Set[MCGraph]], max_graphs: int = 20000) -> MCResu
             if not graph.sat:
                 discarded += 1
                 continue
+            graph = state.intern(graph)
             if state.add(edge, graph):
                 queue.append((edge, graph))
 
@@ -78,15 +90,19 @@ def mc_check(edges: Dict[Edge, Set[MCGraph]], max_graphs: int = 20000) -> MCResu
                 composed = G.compose(H)
                 if not composed.sat:
                     discarded += 1
-                elif state.add((f, h), composed):
-                    queue.append(((f, h), composed))
+                else:
+                    composed = state.intern(composed)
+                    if state.add((f, h), composed):
+                        queue.append(((f, h), composed))
         for e in list(state.by_target.get(f, ())):
             for E in list(state.graphs.get((e, f), ())):
                 composed = E.compose(G)
                 if not composed.sat:
                     discarded += 1
-                elif state.add((e, g), composed):
-                    queue.append(((e, g), composed))
+                else:
+                    composed = state.intern(composed)
+                    if state.add((e, g), composed):
+                        queue.append(((e, g), composed))
         if state.total > max_graphs:
             return MCResult(None, total_graphs=state.total,
                             discarded_unsat=discarded)

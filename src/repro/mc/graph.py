@@ -22,14 +22,31 @@ classes of constraints buy two new powers:
 Representation
 --------------
 
-A graph over ``a`` source and ``b`` target parameters is a square matrix
-over nodes ``0 … a-1`` (sources) and ``a … a+b-1`` (targets).  Entry
+A graph over ``a`` source and ``b`` target parameters relates nodes
+``0 … a-1`` (sources) and ``a … a+b-1`` (targets).  Conceptually entry
 ``w[u][v]`` is ``1`` for ``val(u) > val(v)``, ``0`` for ``val(u) ≥
-val(v)``, and ``-1`` for "no constraint".  All values are compared in a
-single well-founded measure (the node-count/absolute-value *size* of
-:func:`repro.values.values.size_of`), which is a natural number — so
-``>`` chains down are finite and ``>`` chains up below a fixed bound are
-finite, the two facts the termination criterion leans on.
+val(v)``, and ``-1`` for "no constraint"; physically the matrix is packed
+into **two big integers** (the bitmask engine of this PR):
+
+* ``geq_bits`` — bit ``u*n + v`` set when ``val(u) ≥ val(v)`` (weak or
+  strict) is entailed,
+* ``gt_bits`` — bit ``u*n + v`` set when ``val(u) > val(v)`` is entailed
+  (always a subset of ``geq_bits``),
+
+with ``n = a + b``.  Transitive closure is a bit-parallel Floyd–Warshall:
+for each pivot ``k``, every row holding an edge into ``k`` ORs in row
+``k`` wholesale — ``O(n²)`` word operations instead of ``O(n³)`` cell
+updates — and composition glues two packed graphs along the shared middle
+layer the same way.  Equality and hashing reduce to two int comparisons,
+which is what makes the interned-graph table in
+:func:`repro.mc.analyze.mc_check` cheap.  The matrix view is still
+available as the lazy :attr:`MCGraph.rows` property.
+
+All values are compared in a single well-founded measure (the
+node-count/absolute-value *size* of :func:`repro.values.values.size_of`),
+which is a natural number — so ``>`` chains down are finite and ``>``
+chains up below a fixed bound are finite, the two facts the termination
+criterion leans on.
 
 Graphs are stored **closed** (all-pairs saturating longest path), so
 structural equality coincides with logical equivalence of satisfiable
@@ -46,31 +63,36 @@ GEQ = 0
 GT = 1
 
 
-def _close(matrix: List[List[int]]) -> bool:
-    """Close ``matrix`` in place under transitivity (Floyd–Warshall with
-    weights saturating at 1).  Returns False when a strict cycle makes the
-    constraint set unsatisfiable."""
-    n = len(matrix)
+def _close_bits(geq: List[int], gt: List[int], n: int) -> bool:
+    """Close the packed rows in place under transitivity (bit-parallel
+    Floyd–Warshall with weights saturating at 1).  Returns False when a
+    strict cycle makes the constraint set unsatisfiable.
+
+    Relation algebra per pivot ``k``: ``geq(i,j)`` via ``k`` needs both
+    legs; the path is strict when either leg is, so a row with a weak edge
+    into ``k`` inherits row ``k`` verbatim while a row with a *strict*
+    edge into ``k`` additionally promotes everything ``k`` weakly reaches.
+    """
     for k in range(n):
-        row_k = matrix[k]
+        bit = 1 << k
+        gk = geq[k]
+        sk = gt[k]
         for i in range(n):
-            w_ik = matrix[i][k]
-            if w_ik == NO_EDGE:
-                continue
-            row_i = matrix[i]
-            for j in range(n):
-                w_kj = row_k[j]
-                if w_kj == NO_EDGE:
-                    continue
-                w = w_ik + w_kj
-                if w > 1:
-                    w = 1
-                if w > row_i[j]:
-                    row_i[j] = w
+            if geq[i] & bit:
+                new_gt = gk if gt[i] & bit else sk
+                geq[i] |= gk
+                gt[i] |= new_gt
     for i in range(n):
-        if matrix[i][i] == GT:
+        if gt[i] & (1 << i):
             return False
     return True
+
+
+def _pack_rows(rows: List[int], n: int) -> int:
+    bits = 0
+    for i in range(n):
+        bits |= rows[i] << (i * n)
+    return bits
 
 
 class MCGraph:
@@ -82,15 +104,18 @@ class MCGraph:
     unsatisfiable ones to the shared :data:`UNSAT` witness.
     """
 
-    __slots__ = ("pre_arity", "post_arity", "rows", "sat", "_hash")
+    __slots__ = ("pre_arity", "post_arity", "geq_bits", "gt_bits", "sat",
+                 "_hash", "_rows")
 
     def __init__(self, pre_arity: int, post_arity: int,
-                 rows: Tuple[Tuple[int, ...], ...], sat: bool):
+                 geq_bits: int, gt_bits: int, sat: bool):
         self.pre_arity = pre_arity
         self.post_arity = post_arity
-        self.rows = rows
+        self.geq_bits = geq_bits
+        self.gt_bits = gt_bits
         self.sat = sat
-        self._hash = hash((pre_arity, post_arity, rows, sat))
+        self._hash = hash((pre_arity, post_arity, geq_bits, gt_bits, sat))
+        self._rows = None
 
     # -- construction --------------------------------------------------------
 
@@ -103,27 +128,32 @@ class MCGraph:
         ``0 … pre_arity-1``, targets ``pre_arity … pre_arity+post_arity-1``.
         """
         n = pre_arity + post_arity
-        matrix = [[NO_EDGE] * n for _ in range(n)]
-        for i in range(n):
-            matrix[i][i] = GEQ
+        geq = [1 << i for i in range(n)]
+        gt = [0] * n
         for (u, w, v) in constraints:
+            if not (0 <= u < n and 0 <= v < n):
+                raise ValueError(
+                    f"constraint node out of range: ({u}, {v}) with "
+                    f"{n} nodes")
             if u == v:
                 if w == GT:
                     return MCGraph.unsat(pre_arity, post_arity)
                 continue
-            if w > matrix[u][v]:
-                matrix[u][v] = w
-        if not _close(matrix):
+            bit = 1 << v
+            geq[u] |= bit
+            if w == GT:
+                gt[u] |= bit
+        if not _close_bits(geq, gt, n):
             return MCGraph.unsat(pre_arity, post_arity)
         return MCGraph(pre_arity, post_arity,
-                       tuple(tuple(row) for row in matrix), True)
+                       _pack_rows(geq, n), _pack_rows(gt, n), True)
 
     @staticmethod
     def unsat(pre_arity: int, post_arity: int) -> "MCGraph":
         """The unsatisfiable graph: an infeasible transition.  It composes
         to itself and trivially satisfies the local termination check
         (an impossible transition cannot be iterated)."""
-        return MCGraph(pre_arity, post_arity, (), False)
+        return MCGraph(pre_arity, post_arity, 0, 0, False)
 
     @staticmethod
     def top(pre_arity: int, post_arity: int) -> "MCGraph":
@@ -143,23 +173,58 @@ class MCGraph:
     # -- structure ---------------------------------------------------------------
 
     def __eq__(self, other: object) -> bool:
+        if self is other:
+            return True
         return (
             isinstance(other, MCGraph)
             and other.sat == self.sat
             and other.pre_arity == self.pre_arity
             and other.post_arity == self.post_arity
-            and other.rows == self.rows
+            and other.geq_bits == self.geq_bits
+            and other.gt_bits == self.gt_bits
         )
 
     def __hash__(self) -> int:
         return self._hash
+
+    @property
+    def rows(self) -> Tuple[Tuple[int, ...], ...]:
+        """The closed constraint matrix as nested tuples (``NO_EDGE`` /
+        ``GEQ`` / ``GT`` per cell) — the pre-bitmask representation,
+        materialized lazily for display, tests, and witnesses."""
+        if self._rows is None:
+            if not self.sat:
+                self._rows = ()
+            else:
+                n = self.pre_arity + self.post_arity
+                out = []
+                for u in range(n):
+                    base = u * n
+                    row = []
+                    for v in range(n):
+                        bit = 1 << (base + v)
+                        if self.gt_bits & bit:
+                            row.append(GT)
+                        elif self.geq_bits & bit:
+                            row.append(GEQ)
+                        else:
+                            row.append(NO_EDGE)
+                    out.append(tuple(row))
+                self._rows = tuple(out)
+        return self._rows
 
     def constraint(self, u: int, v: int) -> int:
         """The closed relation between nodes ``u`` and ``v``
         (:data:`GT`, :data:`GEQ`, or :data:`NO_EDGE`)."""
         if not self.sat:
             raise ValueError("the unsatisfiable graph has no constraints")
-        return self.rows[u][v]
+        n = self.pre_arity + self.post_arity
+        bit = 1 << (u * n + v)
+        if self.gt_bits & bit:
+            return GT
+        if self.geq_bits & bit:
+            return GEQ
+        return NO_EDGE
 
     def entails(self, u: int, w: int, v: int) -> bool:
         """Does the graph entail ``val(u) > val(v)`` (``w=GT``) or
@@ -169,17 +234,19 @@ class MCGraph:
             return True
         if u == v:
             return w == GEQ
-        return self.rows[u][v] >= w
+        n = self.pre_arity + self.post_arity
+        bits = self.gt_bits if w == GT else self.geq_bits
+        return bool(bits & (1 << (u * n + v)))
 
     # -- composition ----------------------------------------------------------------
 
     def compose(self, later: "MCGraph") -> "MCGraph":
         """Sequential composition: this transition followed by ``later``.
 
-        Built by gluing the two graphs along the shared middle layer,
-        closing, and projecting onto the outer layers.  An unsatisfiable
-        glued system means the two transitions can never happen in
-        sequence, and yields :meth:`unsat`.
+        Built by gluing the two packed graphs along the shared middle
+        layer, closing, and projecting onto the outer layers.  An
+        unsatisfiable glued system means the two transitions can never
+        happen in sequence, and yields :meth:`unsat`.
         """
         if self.post_arity != later.pre_arity:
             raise ValueError(
@@ -190,26 +257,30 @@ class MCGraph:
         if not self.sat or not later.sat:
             return MCGraph.unsat(a, c)
         n = a + b + c
-        matrix = [[NO_EDGE] * n for _ in range(n)]
-        for i in range(n):
-            matrix[i][i] = GEQ
-        for u in range(a + b):
-            row = self.rows[u]
-            dest = matrix[u]
-            for v in range(a + b):
-                if row[v] > dest[v]:
-                    dest[v] = row[v]
-        for u in range(b + c):
-            row = later.rows[u]
-            dest = matrix[a + u]
-            for v in range(b + c):
-                if row[v] > dest[a + v]:
-                    dest[a + v] = row[v]
-        if not _close(matrix):
+        n0 = a + b
+        n1 = b + c
+        row0 = (1 << n0) - 1
+        row1 = (1 << n1) - 1
+        geq = [1 << i for i in range(n)]
+        gt = [0] * n
+        for u in range(n0):
+            geq[u] |= (self.geq_bits >> (u * n0)) & row0
+            gt[u] |= (self.gt_bits >> (u * n0)) & row0
+        for u in range(n1):
+            geq[a + u] |= ((later.geq_bits >> (u * n1)) & row1) << a
+            gt[a + u] |= ((later.gt_bits >> (u * n1)) & row1) << a
+        if not _close_bits(geq, gt, n):
             return MCGraph.unsat(a, c)
-        keep = list(range(a)) + list(range(a + b, n))
-        rows = tuple(tuple(matrix[u][v] for v in keep) for u in keep)
-        return MCGraph(a, c, rows, True)
+        # Project onto the outer layers: keep nodes 0…a-1 and a+b…n-1.
+        low = (1 << a) - 1
+        out_geq = []
+        out_gt = []
+        for u in list(range(a)) + list(range(n0, n)):
+            out_geq.append((geq[u] & low) | ((geq[u] >> n0) << a))
+            out_gt.append((gt[u] & low) | ((gt[u] >> n0) << a))
+        m = a + c
+        return MCGraph(a, c, _pack_rows(out_geq, m), _pack_rows(out_gt, m),
+                       True)
 
     def is_idempotent(self) -> bool:
         return self.pre_arity == self.post_arity and self.compose(self) == self
@@ -221,8 +292,11 @@ class MCGraph:
         (``x > x′``)?"""
         if not self.sat:
             return False
-        n = min(self.pre_arity, self.post_arity)
-        return any(self.rows[i][self.pre_arity + i] == GT for i in range(n))
+        n = self.pre_arity + self.post_arity
+        k = min(self.pre_arity, self.post_arity)
+        gt_bits = self.gt_bits
+        return any(gt_bits & (1 << (i * n + self.pre_arity + i))
+                   for i in range(k))
 
     def bounded_ascent_witness(self) -> Optional[Tuple[int, int]]:
         """A pair ``(u, v)`` justifying termination by *bounded ascent*:
@@ -238,16 +312,19 @@ class MCGraph:
         if not self.sat or self.pre_arity != self.post_arity:
             return None
         n = self.pre_arity
-        rows = self.rows
-        climbers = [v for v in range(n) if rows[n + v][v] == GT]
+        full = 2 * n
+        geq_bits = self.geq_bits
+        gt_bits = self.gt_bits
+        climbers = [v for v in range(n)
+                    if gt_bits & (1 << ((n + v) * full + v))]
         if not climbers:
             return None
         for u in range(n):
-            if rows[u][n + u] < GEQ:
+            if not geq_bits & (1 << (u * full + n + u)):
                 continue
-            post_u = rows[n + u]
+            post_u = (geq_bits >> ((n + u) * full))
             for v in climbers:
-                if u != v and post_u[n + v] >= GEQ:
+                if u != v and post_u & (1 << (n + v)):
                     return (u, v)
         return None
 
@@ -290,14 +367,15 @@ class MCGraph:
 
         if not self.sat:
             return SCGraph()
+        n = self.pre_arity + self.post_arity
         arcs = []
         for i in range(self.pre_arity):
-            row = self.rows[i]
+            base = i * n + self.pre_arity
             for j in range(self.post_arity):
-                w = row[self.pre_arity + j]
-                if w == GT:
+                bit = 1 << (base + j)
+                if self.gt_bits & bit:
                     arcs.append((i, STRICT, j))
-                elif w == GEQ:
+                elif self.geq_bits & bit:
                     arcs.append((i, WEAK, j))
         return SCGraph(arcs)
 
@@ -321,11 +399,12 @@ class MCGraph:
             return f"x{j}′"
 
         shown = []
+        rows = self.rows
         n = self.pre_arity + self.post_arity
         for u in range(n):
             for v in range(n):
-                if u != v and self.rows[u][v] != NO_EDGE:
-                    op = ">" if self.rows[u][v] == GT else "≥"
+                if u != v and rows[u][v] != NO_EDGE:
+                    op = ">" if rows[u][v] == GT else "≥"
                     shown.append(f"{nm(u)} {op} {nm(v)}")
         return "{" + ", ".join(shown) + "}"
 
@@ -337,27 +416,38 @@ def mc_graph_of_sizes(pre_sizes: Sequence[Optional[int]],
                       post_sizes: Sequence[Optional[int]]) -> MCGraph:
     """Build the exact MC graph over two vectors of well-founded sizes.
     Entries of ``None`` (values with no well-founded size, e.g. floats)
-    contribute no constraints."""
+    contribute no constraints.
+
+    Because the comparable entries are totally ordered by their sizes, the
+    relation is transitively closed by construction and never
+    unsatisfiable, so the rows are packed directly — no Floyd–Warshall —
+    which is what keeps the dynamic MC monitor's per-call cost flat.
+    """
     sizes = list(pre_sizes) + list(post_sizes)
     a = len(pre_sizes)
     n = len(sizes)
-    constraints = []
+    geq = [0] * n
+    gt = [0] * n
     for u in range(n):
         su = sizes[u]
-        if su is None:
-            continue
-        for v in range(u + 1, n):
-            sv = sizes[v]
-            if sv is None:
-                continue
-            if su > sv:
-                constraints.append((u, GT, v))
-            elif su < sv:
-                constraints.append((v, GT, u))
-            else:
-                constraints.append((u, GEQ, v))
-                constraints.append((v, GEQ, u))
-    return MCGraph.build(a, n - a, constraints)
+        row_geq = 1 << u
+        row_gt = 0
+        if su is not None:
+            for v in range(n):
+                if v == u:
+                    continue
+                sv = sizes[v]
+                if sv is None:
+                    continue
+                bit = 1 << v
+                if su > sv:
+                    row_geq |= bit
+                    row_gt |= bit
+                elif su == sv:
+                    row_geq |= bit
+        geq[u] = row_geq
+        gt[u] = row_gt
+    return MCGraph(a, n - a, _pack_rows(geq, n), _pack_rows(gt, n), True)
 
 
 def mc_graph_of_values(old_args: Sequence, new_args: Sequence) -> MCGraph:

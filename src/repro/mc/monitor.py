@@ -40,7 +40,10 @@ class MCMonitor(SCMonitor):
     tracing, ``enforce=False`` call-sequence mode) behave identically.
     The ``order`` option is ignored: MC graphs always compare in the
     well-founded size measure, which is what makes both termination
-    arguments (descent and bounded ascent) sound.
+    arguments (descent and bounded ascent) sound.  The ``engine`` knob is
+    moot here: because ``make_graph`` is overridden, the monitor always
+    takes the generic evidence path, and the :class:`MCGraph` objects it
+    composes are themselves bitmask-packed internally.
     """
 
     def make_graph(self, old_args: Tuple, new_args: Tuple) -> MCGraph:

@@ -10,7 +10,10 @@ argument relations, the MC edge also carries
 * constraints among the callee's arguments (e.g. ``lo+1 ≤ hi`` — the
   climber staying below its ceiling).
 
-Phase 2 is :func:`repro.mc.analyze.mc_check`.
+Every edge graph is a packed (bitmask) :class:`repro.mc.graph.MCGraph`,
+so the per-edge dedup here and the transitive-closure worklist of phase 2
+(:func:`repro.mc.analyze.mc_check`, with its interned-graph table) both
+run on machine-int comparisons.
 """
 
 from __future__ import annotations

@@ -1,0 +1,313 @@
+"""The bitmask size-change graph engine.
+
+:class:`repro.sct.graph.SCGraph` stores a graph as a frozenset of
+``(i, r, j)`` tuples — the paper's notation, kept as the spec-conformance
+reference.  On the hot paths (the monitor's per-call composition batch,
+the static transitive closure) that representation pays a Python-object
+toll per arc: tuple allocation, per-arc hashing, dict-backed set joins.
+
+This module packs a graph of arity ``m`` into **two machine integers**:
+
+* ``strict`` — bit ``i*m + j`` is set when the graph carries ``i ↓ j``,
+* ``weak`` — bit ``i*m + j`` is set when it carries ``i ↓= j`` and no
+  strict arc shadows it (the two masks are disjoint, mirroring
+  ``SCGraph``'s arc semantics).
+
+Composition ``g0 ; g1`` walks the ``m`` middle positions once.  For a
+middle position ``j``, the sources reaching ``j`` form *column* ``j`` of
+``g0`` and the targets leaving ``j`` form *row* ``j`` of ``g1``; their
+outer product is a single big-int multiply:
+
+    column ``j`` extracted to stride-``m`` positions:  ``(g0 >> j) & COL0``
+    row ``j`` extracted to the low ``m`` bits:          ``(g1 >> j*m) & ROW0``
+    outer product:                                      ``col * row``
+
+because ``col`` only has bits at multiples of ``m`` and ``row`` fits in
+``m`` bits, the partial products never carry.  A strict result arc needs a
+strict leg on either side, so per middle position the strict contribution
+is ``col_strict*row_any | col_any*row_strict``; weak-only arcs are what
+remains.  ``desc?`` is then an idempotence check (one composition) plus a
+single AND against the diagonal mask.
+
+Everything here is *functional*: a packed graph is a plain ``(strict,
+weak)`` int pair, composition sets are sets of int pairs, and the
+per-arity mask tables (:func:`masks`) are interned so callers resolve
+them once per batch.  :func:`unpack` converts back to :class:`SCGraph`
+for everything user-facing (violations, traces, witnesses) — the packed
+form never leaks into reported results.
+
+Property tests (``tests/test_bitgraph.py``) assert agreement with the
+reference ``SCGraph`` on ``compose`` / ``desc_ok`` / ``prog_ok`` for
+random graphs up to arity 8.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Sequence, Tuple
+
+from repro.sct.graph import SCGraph, STRICT, WEAK
+
+Packed = Tuple[int, int]
+
+
+class BitMasks:
+    """Interned per-arity mask table.
+
+    * ``row0`` — the low-``m`` bits (row 0; row ``j`` is ``row0 << j*m``),
+    * ``col0`` — one bit every ``m`` positions (column 0; column ``j`` is
+      ``col0 << j``),
+    * ``diag`` — bits ``i*m + i``, the self-arc positions.
+    """
+
+    __slots__ = ("m", "row0", "col0", "diag")
+
+    def __init__(self, m: int):
+        self.m = m
+        self.row0 = (1 << m) - 1
+        col0 = 0
+        diag = 0
+        for i in range(m):
+            col0 |= 1 << (i * m)
+            diag |= 1 << (i * m + i)
+        self.col0 = col0
+        self.diag = diag
+
+
+_TABLES: Dict[int, BitMasks] = {}
+
+
+def masks(m: int) -> BitMasks:
+    """The interned mask table for arity ``m``."""
+    table = _TABLES.get(m)
+    if table is None:
+        table = _TABLES[m] = BitMasks(m)
+    return table
+
+
+# -- conversion ----------------------------------------------------------------
+
+
+def pack(g: SCGraph, m: int) -> Packed:
+    """Pack a reference graph whose arc indices are all ``< m``.
+
+    Packing *normalizes*: a weak arc coincident with a strict arc is
+    dropped, matching what ``SCGraph.compose`` emits.  Every graph the
+    monitor or the static closure iterates is already normalized
+    (``graph_of_values`` emits one arc per position pair and ``compose``
+    filters shadowed weak arcs); only hand-built denormalized frozensets
+    can distinguish the representations, and there the difference is
+    syntactic — reference equality sees two arcs where the packed form
+    sees one — never a difference in entailed size relations.
+    """
+    strict = 0
+    weak = 0
+    for (i, r, j) in g.arcs:
+        if i >= m or j >= m:
+            raise ValueError(f"arc ({i}, {j}) does not fit arity {m}")
+        bit = 1 << (i * m + j)
+        if r is STRICT:
+            strict |= bit
+        else:
+            weak |= bit
+    return strict, weak & ~strict
+
+
+def unpack(mk: BitMasks, strict: int, weak: int) -> SCGraph:
+    """Expand a packed graph back into the reference representation."""
+    m = mk.m
+    arcs = []
+    for i in range(m):
+        row_s = (strict >> (i * m)) & mk.row0
+        row_w = (weak >> (i * m)) & mk.row0
+        for j in range(m):
+            bit = 1 << j
+            if row_s & bit:
+                arcs.append((i, STRICT, j))
+            elif row_w & bit:
+                arcs.append((i, WEAK, j))
+    return SCGraph(arcs)
+
+
+def required_arity(g: SCGraph) -> int:
+    """The smallest ``m`` that can hold ``g``."""
+    m = 1
+    for (i, _r, j) in g.arcs:
+        if i >= m:
+            m = i + 1
+        if j >= m:
+            m = j + 1
+    return m
+
+
+def widen(packed: Packed, m_old: int, m_new: int) -> Packed:
+    """Re-encode a packed graph at a larger arity (row stride changes)."""
+    if m_new < m_old:
+        raise ValueError("widen cannot shrink a graph")
+    if m_new == m_old:
+        return packed
+    row0 = (1 << m_old) - 1
+    strict, weak = packed
+    ws = 0
+    ww = 0
+    for i in range(m_old):
+        ws |= ((strict >> (i * m_old)) & row0) << (i * m_new)
+        ww |= ((weak >> (i * m_old)) & row0) << (i * m_new)
+    return ws, ww
+
+
+# -- the paper's operations, packed --------------------------------------------
+
+
+def compose(mk: BitMasks, s0: int, w0: int, s1: int, w1: int) -> Packed:
+    """Sequential composition (Fig. 4's ``;``) on packed graphs."""
+    m = mk.m
+    row0 = mk.row0
+    col0 = mk.col0
+    a0 = s0 | w0
+    a1 = s1 | w1
+    strict = 0
+    every = 0
+    for j in range(m):
+        col_any = (a0 >> j) & col0
+        if not col_any:
+            continue
+        row_any = (a1 >> (j * m)) & row0
+        if not row_any:
+            continue
+        every |= col_any * row_any
+        col_s = (s0 >> j) & col0
+        if col_s:
+            strict |= col_s * row_any
+        row_s = (s1 >> (j * m)) & row0
+        if row_s:
+            strict |= col_any * row_s
+    return strict, every & ~strict
+
+
+def left_factor(mk: BitMasks, s0: int, w0: int):
+    """Precompute the column masks of a left operand: ``(cols_any,
+    cols_strict)``, column ``j`` spread to stride-``m`` positions.  One
+    factoring amortizes the extraction over every ``g0 ; H`` sharing the
+    same ``g0`` (the worklist composing a popped graph rightward, the
+    monitor batching one new evidence graph against its whole set)."""
+    m = mk.m
+    col0 = mk.col0
+    a0 = s0 | w0
+    cols_any = [(a0 >> j) & col0 for j in range(m)]
+    cols_strict = [(s0 >> j) & col0 for j in range(m)]
+    return cols_any, cols_strict
+
+
+def compose_left(mk: BitMasks, left, s1: int, w1: int) -> Packed:
+    """``g0 ; g1`` with ``g0`` pre-factored by :func:`left_factor`."""
+    m = mk.m
+    row0 = mk.row0
+    cols_any, cols_strict = left
+    a1 = s1 | w1
+    strict = 0
+    every = 0
+    for j in range(m):
+        col_any = cols_any[j]
+        if not col_any:
+            continue
+        row_any = (a1 >> (j * m)) & row0
+        if not row_any:
+            continue
+        every |= col_any * row_any
+        col_s = cols_strict[j]
+        if col_s:
+            strict |= col_s * row_any
+        row_s = (s1 >> (j * m)) & row0
+        if row_s:
+            strict |= col_any * row_s
+    return strict, every & ~strict
+
+
+def right_factor(mk: BitMasks, s1: int, w1: int):
+    """Precompute the row masks of a right operand: ``(rows_any,
+    rows_strict)``, row ``j`` in the low ``m`` bits.  The dual of
+    :func:`left_factor` for ``E ; g1`` with ``g1`` fixed."""
+    m = mk.m
+    row0 = mk.row0
+    a1 = s1 | w1
+    rows_any = [(a1 >> (j * m)) & row0 for j in range(m)]
+    rows_strict = [(s1 >> (j * m)) & row0 for j in range(m)]
+    return rows_any, rows_strict
+
+
+def compose_right(mk: BitMasks, s0: int, w0: int, right) -> Packed:
+    """``g0 ; g1`` with ``g1`` pre-factored by :func:`right_factor`."""
+    m = mk.m
+    col0 = mk.col0
+    rows_any, rows_strict = right
+    a0 = s0 | w0
+    strict = 0
+    every = 0
+    for j in range(m):
+        row_any = rows_any[j]
+        if not row_any:
+            continue
+        col_any = (a0 >> j) & col0
+        if not col_any:
+            continue
+        every |= col_any * row_any
+        col_s = (s0 >> j) & col0
+        if col_s:
+            strict |= col_s * row_any
+        row_s = rows_strict[j]
+        if row_s:
+            strict |= col_any * row_s
+    return strict, every & ~strict
+
+
+def is_idempotent(mk: BitMasks, strict: int, weak: int) -> bool:
+    return compose(mk, strict, weak, strict, weak) == (strict, weak)
+
+
+def has_strict_self_arc(mk: BitMasks, strict: int) -> bool:
+    return bool(strict & mk.diag)
+
+
+def desc_ok(mk: BitMasks, strict: int, weak: int) -> bool:
+    """``desc?`` (Fig. 4): an idempotent graph must carry a strict
+    self-arc; non-idempotent graphs pass."""
+    if not is_idempotent(mk, strict, weak):
+        return True
+    return bool(strict & mk.diag)
+
+
+def prog_ok(mk: BitMasks, packed_newest_first: Sequence[Packed]) -> bool:
+    """Packed twin of :func:`repro.sct.graph.prog_ok` (quadratic reference
+    over every contiguous composition, used by the conformance tests)."""
+    chron = list(reversed(packed_newest_first))
+    n = len(chron)
+    for i in range(n):
+        s, w = chron[i]
+        if not desc_ok(mk, s, w):
+            return False
+        for j in range(i + 1, n):
+            s, w = compose(mk, s, w, *chron[j])
+            if not desc_ok(mk, s, w):
+                return False
+    return True
+
+
+def graph_of_values(old_args: Sequence, new_args: Sequence, order,
+                    mk: BitMasks) -> Packed:
+    """Packed twin of :func:`repro.sct.graph.graph_of_values`: compare the
+    argument vectors pairwise under ``order`` straight into the masks."""
+    from repro.sct.order import DESC, EQ
+
+    m = mk.m
+    strict = 0
+    weak = 0
+    compare = order.compare
+    for i, vi in enumerate(old_args):
+        base = i * m
+        for j, vj in enumerate(new_args):
+            c = compare(vi, vj)
+            if c == DESC:
+                strict |= 1 << (base + j)
+            elif c == EQ:
+                weak |= 1 << (base + j)
+    return strict, weak

@@ -16,6 +16,13 @@ This module implements, directly from the figure:
   ``desc?`` (the monitor uses the incremental form in
   :mod:`repro.sct.monitor`; this quadratic reference version is kept for
   spec-conformance tests).
+
+This frozenset-of-tuples class is the **spec-conformance reference**: it
+transcribes Fig. 4 and is what every user-facing surface (violations,
+traces, witnesses) speaks.  The hot paths run the packed twin in
+:mod:`repro.sct.bitgraph` — two machine integers per graph — which the
+property tests in ``tests/test_bitgraph.py`` hold to agreement with this
+class on ``compose`` / ``desc_ok`` / ``prog_ok``.
 """
 
 from __future__ import annotations

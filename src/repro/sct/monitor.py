@@ -15,7 +15,7 @@ created, so checking ``desc?`` on the new batch alone is equivalent to the
 paper's ``prog?`` over the whole sequence.  ``S`` stabilizes at a handful of
 graphs for typical loops, making monitoring O(1) amortized per call.
 
-Policy knobs (§5 of the paper):
+Policy knobs (§5 of the paper, plus the engine selector):
 
 * ``keying`` — ``'identity'`` (exact, per-closure-object; sound by
   Lemma A.1) or ``'label'`` (one entry per syntactic λ + environment hash,
@@ -29,7 +29,14 @@ Policy knobs (§5 of the paper):
 * ``whitelist`` — function names known to terminate (e.g. statically
   verified ones) that need no instrumentation,
 * ``measures`` — per-function-name argument-tuple measures implementing
-  custom well-founded orders (``lh-range``, ``acl2-fig-2``).
+  custom well-founded orders (``lh-range``, ``acl2-fig-2``),
+* ``engine`` — ``'bitmask'`` (default) keeps each entry's composition set
+  ``S`` as packed ``(strict, weak)`` int pairs and runs ``;`` / ``desc?``
+  through :mod:`repro.sct.bitgraph`; ``'reference'`` keeps the frozenset
+  :class:`~repro.sct.graph.SCGraph` objects of the paper's figures.  Both
+  engines raise on exactly the same call sequences (property-tested), and
+  every graph that escapes the monitor — violations, traces, the Fig. 1
+  event stream — is always a reference ``SCGraph``.
 """
 
 from __future__ import annotations
@@ -37,6 +44,7 @@ from __future__ import annotations
 from typing import Callable, Dict, FrozenSet, Iterable, Optional, Set, Tuple
 
 from repro.ds.hamt import Hamt, IdKey
+from repro.sct import bitgraph
 from repro.sct.errors import SizeChangeViolation
 from repro.sct.graph import SCGraph, graph_of_values
 from repro.sct.order import DEFAULT_ORDER
@@ -47,21 +55,28 @@ _MISSING = object()
 
 
 class Entry:
-    """One size-change table entry: ``(v⃗, S, count, next_check)``."""
+    """One size-change table entry: ``(v⃗, S, count, next_check)``.
 
-    __slots__ = ("check_args", "comps", "count", "next_check")
+    Under the bitmask engine ``comps`` holds packed ``(strict, weak)``
+    int pairs encoded at arity ``m``; under the reference engine it holds
+    :class:`~repro.sct.graph.SCGraph` objects and ``m`` stays 0.
+    """
+
+    __slots__ = ("check_args", "comps", "count", "next_check", "m")
 
     def __init__(
         self,
         check_args: Tuple,
-        comps: FrozenSet[SCGraph],
+        comps: FrozenSet,
         count: int,
         next_check: int,
+        m: int = 0,
     ):
         self.check_args = check_args
         self.comps = comps
         self.count = count
         self.next_check = next_check
+        self.m = m
 
     def __repr__(self) -> str:
         return f"Entry(count={self.count}, |S|={len(self.comps)})"
@@ -81,11 +96,22 @@ class SCMonitor:
         trace: Optional[list] = None,
         enforce: bool = True,
         events: Optional[list] = None,
+        engine: str = "bitmask",
     ):
         if keying not in ("identity", "label"):
             raise ValueError(f"unknown keying mode: {keying!r}")
+        if engine not in ("bitmask", "reference"):
+            raise ValueError(f"unknown graph engine: {engine!r}")
         self.order = order if order is not None else DEFAULT_ORDER
         self.keying = keying
+        self.engine = engine
+        # The packed fast path applies only to size-change evidence: a
+        # subclass overriding ``make_graph`` (e.g. MCMonitor) supplies its
+        # own graph family and takes the generic path.
+        self._bitmask_fast = (
+            engine == "bitmask"
+            and type(self).make_graph is SCMonitor.make_graph
+        )
         self.backoff = backoff
         self.whitelist = frozenset(whitelist)
         self.loop_entries = loop_entries
@@ -159,9 +185,12 @@ class SCMonitor:
                     ("call", clo.describe(), self.measured(clo, args), None,
                      [p.name for p in clo.params])
                 )
-            return Entry(entry.check_args, entry.comps, count, entry.next_check)
+            return Entry(entry.check_args, entry.comps, count,
+                         entry.next_check, entry.m)
         self.checks_done += 1
         margs = self.measured(clo, args)
+        if self._bitmask_fast:
+            return self._advance_bitmask(entry, clo, margs, count, blame)
         g = self.make_graph(entry.check_args, margs)
         if self.trace is not None:
             self.trace.append((clo.describe(), entry.check_args, margs, g))
@@ -173,22 +202,70 @@ class SCMonitor:
             new_comps.add(c.compose(g))
         for c in new_comps:
             if not c.desc_ok():
-                violation = SizeChangeViolation(
-                    function=clo.describe(),
-                    prev_args=entry.check_args,
-                    new_args=margs,
-                    graph=g,
-                    composition=c,
-                    blame=blame,
-                    call_count=count,
-                    param_names=[p.name for p in clo.params],
-                )
-                if self.enforce:
-                    raise violation
-                self.violations.append(violation)
+                self._flag_violation(clo, entry.check_args, margs, g, c,
+                                     count, blame)
                 break
-        next_check = count * 2 if self.backoff else count + 1
-        return Entry(margs, frozenset(new_comps), count, next_check)
+        return Entry(margs, frozenset(new_comps), count,
+                     self._next_check(count))
+
+    def _next_check(self, count: int) -> int:
+        return count * 2 if self.backoff else count + 1
+
+    def _flag_violation(self, clo: Closure, prev_args: Tuple, margs: Tuple,
+                        graph, composition, count: int, blame) -> None:
+        """Build the witness-carrying violation and raise it (or record
+        it under the Fig. 6 ``enforce=False`` call-sequence semantics).
+        Shared by both engines — ``graph`` / ``composition`` arrive as
+        whatever user-facing graph family the caller monitors."""
+        violation = SizeChangeViolation(
+            function=clo.describe(),
+            prev_args=prev_args,
+            new_args=margs,
+            graph=graph,
+            composition=composition,
+            blame=blame,
+            call_count=count,
+            param_names=[p.name for p in clo.params],
+        )
+        if self.enforce:
+            raise violation
+        self.violations.append(violation)
+
+    def _advance_bitmask(self, entry: Entry, clo: Closure, margs: Tuple,
+                         count: int, blame) -> Entry:
+        """The packed twin of the tail of :meth:`advance`: evidence graphs
+        and the composition set live as ``(strict, weak)`` int pairs; the
+        reference :class:`SCGraph` is materialized only for whatever leaves
+        the monitor (violations, traces, events)."""
+        m = max(len(entry.check_args), len(margs), entry.m, 1)
+        mk = bitgraph.masks(m)
+        g = bitgraph.graph_of_values(entry.check_args, margs, self.order, mk)
+        comps = entry.comps
+        if entry.m and entry.m != m:
+            comps = [bitgraph.widen(c, entry.m, m) for c in comps]
+        if self.trace is not None:
+            self.trace.append((clo.describe(), entry.check_args, margs,
+                               bitgraph.unpack(mk, *g)))
+        if self.events is not None:
+            self.events.append(("call", clo.describe(), margs,
+                                bitgraph.unpack(mk, *g),
+                                [p.name for p in clo.params]))
+        new_comps = {g}
+        if comps:
+            # g is the fixed right operand of the whole batch: factor its
+            # row masks once (precomputed column/row composition).
+            right = bitgraph.right_factor(mk, *g)
+            compose_right = bitgraph.compose_right
+            for (cs, cw) in comps:
+                new_comps.add(compose_right(mk, cs, cw, right))
+        for c in new_comps:
+            if not bitgraph.desc_ok(mk, *c):
+                self._flag_violation(clo, entry.check_args, margs,
+                                     bitgraph.unpack(mk, *g),
+                                     bitgraph.unpack(mk, *c), count, blame)
+                break
+        return Entry(margs, frozenset(new_comps), count,
+                     self._next_check(count), m)
 
     # -- table strategies --------------------------------------------------------
 
@@ -238,7 +315,7 @@ class SCMonitor:
     def __repr__(self) -> str:
         return (
             f"SCMonitor(order={self.order!r}, keying={self.keying!r}, "
-            f"backoff={self.backoff})"
+            f"backoff={self.backoff}, engine={self.engine!r})"
         )
 
 
