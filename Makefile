@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test bench bench-quick docs
+.PHONY: test bench bench-quick bench-interp bench-interp-smoke docs
 
 # Tier-1 verification: the full claim-backing test suite.
 test:
@@ -14,6 +14,14 @@ bench:
 # The engine-comparison report alone (fast smoke, used by CI).
 bench-quick:
 	$(PYTHON) -m repro bench compose --scale quick
+
+# The compiled-vs-tree machine report (writes BENCH_interp.json).
+bench-interp:
+	$(PYTHON) -m repro bench interp --scale quick
+
+# The CI smoke variant of the same report.
+bench-interp-smoke:
+	$(PYTHON) -m repro bench interp --smoke
 
 # The documentation set worth (re)reading, in order.
 docs:

@@ -1,0 +1,56 @@
+"""pytest-benchmark cells: compiled machine vs tree machine.
+
+Machine-readable twins of ``python -m repro bench interp`` — one
+benchmark per (program, suite, machine) for a small shape-diverse corpus
+subset, so CI tracks the absolute times (the full report tracks the
+ratios).
+
+Run with::
+
+    pytest benchmarks/bench_interp.py --benchmark-only
+"""
+
+import pytest
+
+from repro.bench.interp import SMOKE_PROGRAMS, amplify_program
+from repro.corpus import get_program
+from repro.eval.machine import Answer, make_env, run_program
+from repro.sct.monitor import SCMonitor
+
+AMPLIFY = 20
+
+_ENVS = {}
+
+
+def _env(machine):
+    if machine not in _ENVS:
+        _ENVS[machine] = make_env(machine=machine)
+    return _ENVS[machine]
+
+
+def _run(program, prog, machine, mode):
+    answer = run_program(
+        program, mode=mode, strategy="cm",
+        monitor=SCMonitor(measures=prog.measures),
+        env=_env(machine), machine=machine,
+    )
+    assert answer.kind == Answer.VALUE, repr(answer)
+    return answer
+
+
+@pytest.mark.parametrize("machine", ["tree", "compiled"])
+@pytest.mark.parametrize("name", SMOKE_PROGRAMS)
+def test_interp_monitored_cm(benchmark, parsed, name, machine):
+    prog = get_program(name)
+    program = amplify_program(parsed(prog.source), AMPLIFY)
+    benchmark.group = f"interp-cm:{name}"
+    benchmark(_run, program, prog, machine, "full")
+
+
+@pytest.mark.parametrize("machine", ["tree", "compiled"])
+@pytest.mark.parametrize("name", SMOKE_PROGRAMS[:2])
+def test_interp_unmonitored(benchmark, parsed, name, machine):
+    prog = get_program(name)
+    program = amplify_program(parsed(prog.source), AMPLIFY)
+    benchmark.group = f"interp-off:{name}"
+    benchmark(_run, program, prog, machine, "off")

@@ -12,10 +12,19 @@
   extension (static precision vs SC, dynamic overhead),
 * :mod:`repro.bench.compose_bench` — the bitmask graph engine vs the
   frozenset reference on compose-heavy workloads (the perf trajectory
-  of this reproduction's own hot path).
+  of this reproduction's own graph-algebra hot path),
+* :mod:`repro.bench.interp` — the compiled machine (lexical addressing +
+  slot frames + monitor fast path) vs the tree machine over the corpus
+  (the perf trajectory of the evaluation hot loop; emits
+  ``BENCH_interp.json``).
 """
 
 from repro.bench.compose_bench import run_compose, render_compose
+from repro.bench.interp import (
+    render_interp,
+    run_interp,
+    write_interp_json,
+)
 from repro.bench.table1 import run_table1, render_table1
 from repro.bench.fig10 import run_fig10, render_fig10
 from repro.bench.divergence import run_divergence, render_divergence
@@ -33,4 +42,5 @@ __all__ = [
     "run_ablation", "render_ablation",
     "run_mc_static", "run_mc_dynamic", "render_mc",
     "run_compose", "render_compose",
+    "run_interp", "render_interp", "write_interp_json",
 ]

@@ -1,0 +1,255 @@
+"""Benchmark: the compiled machine vs the tree machine (``bench interp``).
+
+Full report: ``python -m repro bench interp`` (writes ``BENCH_interp.json``
+alongside the rendered table; ``--smoke`` runs the CI subset).  The same
+cells run as individual pytest benchmarks in ``benchmarks/bench_interp.py``.
+
+Methodology
+-----------
+
+* **Workloads** are the Table 1 corpus programs (the paper's §5.1.1
+  evaluation set), each *amplified* by repeating its final top-level call
+  until one tree-machine run meets a per-cell time target — so the cells
+  time interpretation, not environment setup, while keeping every
+  program's own shape (its measures, its higher-order structure, its data
+  sizes).  The amplification factor is calibrated once per program on the
+  tree machine and shared by every suite and both machines.
+* **Suites**: ``unmonitored`` (mode ``off``), ``cm`` (λSCT under the
+  continuation-mark strategy — the acceptance suite), and ``imperative``
+  (λSCT under the mutable-table strategy).
+* **Timing** is best-of-``repeats`` with the two machines interleaved
+  rep by rep (so scheduler drift hits both alike) and the host GC
+  disabled during measurement, pytest-benchmark style.  Parsing,
+  resolution, and prelude construction happen before the clock starts —
+  the paper's timings exclude compilation, and so do these.
+
+The acceptance criterion tracked per PR: **≥ 3× geomean speedup on the
+``cm`` suite**.
+"""
+
+from __future__ import annotations
+
+import gc
+import json
+import math
+import platform
+import time
+from typing import Dict, List, Optional, Sequence
+
+from repro.bench.report import fmt_factor, fmt_ms, render_table
+from repro.corpus import all_programs
+from repro.corpus.registry import CorpusProgram
+from repro.eval.machine import Answer, make_env, run_program
+from repro.lang.parser import parse_program
+from repro.lang.program import Program
+from repro.sct.monitor import SCMonitor
+
+#: suite name -> (mode, strategy)
+SUITES: Dict[str, tuple] = {
+    "unmonitored": ("off", "cm"),
+    "cm": ("full", "cm"),
+    "imperative": ("full", "imperative"),
+}
+
+#: The CI smoke subset: small but shape-diverse (plain descent, custom
+#: measure, higher-order, and a composition-heavy multi-argument loop).
+SMOKE_PROGRAMS = ("sct-1", "sct-3", "lh-gcd", "ho-sc-ack")
+
+ACCEPTANCE_SUITE = "cm"
+ACCEPTANCE_TARGET = 3.0
+
+_SCALES = {
+    # scale: (per-cell time target for calibration, repeats, max amplify)
+    "smoke": (0.010, 3, 50),
+    "quick": (0.040, 5, 400),
+    "full": (0.120, 7, 1200),
+}
+
+
+class InterpCell:
+    """One (suite, program) cell: best-of times for both machines."""
+
+    __slots__ = ("suite", "program", "amplify", "tree_s", "compiled_s")
+
+    def __init__(self, suite: str, program: str, amplify: int,
+                 tree_s: float, compiled_s: float):
+        self.suite = suite
+        self.program = program
+        self.amplify = amplify
+        self.tree_s = tree_s
+        self.compiled_s = compiled_s
+
+    @property
+    def speedup(self) -> float:
+        return self.tree_s / self.compiled_s if self.compiled_s else 0.0
+
+    def __repr__(self) -> str:
+        return (f"InterpCell({self.suite}/{self.program}: "
+                f"{self.speedup:.2f}x)")
+
+
+def geomean(values: Sequence[float]) -> float:
+    vals = [v for v in values if v > 0]
+    if not vals:
+        return 0.0
+    return math.exp(sum(math.log(v) for v in vals) / len(vals))
+
+
+def amplify_program(program: Program, factor: int) -> Program:
+    """Repeat the final top-level form ``factor`` times.  Each repetition
+    is a fresh top-level evaluation — monitoring state starts clean per
+    form — so this scales work without changing any single extent."""
+    if factor <= 1:
+        return program
+    return Program(program.forms + (program.forms[-1],) * (factor - 1),
+                   program.source)
+
+
+def _calibrate(parsed: Program, prog: CorpusProgram, env, target: float,
+               max_amplify: int) -> int:
+    t0 = time.perf_counter()
+    answer = run_program(parsed, mode="full", strategy="cm",
+                         monitor=SCMonitor(measures=prog.measures),
+                         env=env, machine="tree")
+    dt = time.perf_counter() - t0
+    if answer.kind != Answer.VALUE:
+        raise RuntimeError(f"{prog.name}: calibration run failed: {answer!r}")
+    return max(1, min(max_amplify, int(target / max(dt, 1e-6))))
+
+
+def run_interp(
+    scale: str = "quick",
+    repeats: Optional[int] = None,
+    suites: Optional[Sequence[str]] = None,
+    programs: Optional[Sequence[str]] = None,
+) -> List[InterpCell]:
+    """Time every (suite, corpus program) cell on both machines."""
+    if scale not in _SCALES:
+        raise ValueError(f"unknown scale: {scale!r}")
+    target, default_repeats, max_amplify = _SCALES[scale]
+    if repeats is None:
+        repeats = default_repeats
+    chosen_suites = list(suites) if suites else list(SUITES)
+    corpus = all_programs()
+    if scale == "smoke" and programs is None:
+        programs = SMOKE_PROGRAMS
+    if programs is not None:
+        wanted = set(programs)
+        corpus = [p for p in corpus if p.name in wanted]
+
+    envs = {m: make_env(machine=m) for m in ("tree", "compiled")}
+    cells: List[InterpCell] = []
+    for prog in corpus:
+        parsed = parse_program(prog.source)
+        factor = _calibrate(parsed, prog, envs["tree"], target, max_amplify)
+        amplified = amplify_program(parsed, factor)
+        for suite in chosen_suites:
+            mode, strategy = SUITES[suite]
+            best = {"tree": float("inf"), "compiled": float("inf")}
+            gc_was_enabled = gc.isenabled()
+            gc.disable()
+            try:
+                for _ in range(repeats):
+                    for machine in ("tree", "compiled"):
+                        monitor = SCMonitor(measures=prog.measures)
+                        t0 = time.perf_counter()
+                        answer = run_program(
+                            amplified, mode=mode, strategy=strategy,
+                            monitor=monitor, env=envs[machine],
+                            machine=machine,
+                        )
+                        dt = time.perf_counter() - t0
+                        if answer.kind != Answer.VALUE:
+                            raise RuntimeError(
+                                f"{prog.name} [{suite}/{machine}] failed: "
+                                f"{answer!r}")
+                        best[machine] = min(best[machine], dt)
+            finally:
+                if gc_was_enabled:
+                    gc.enable()
+                    gc.collect()
+            cells.append(InterpCell(suite, prog.name, factor,
+                                    best["tree"], best["compiled"]))
+    return cells
+
+
+def suite_geomeans(cells: Sequence[InterpCell]) -> Dict[str, float]:
+    result: Dict[str, float] = {}
+    for suite in SUITES:
+        speedups = [c.speedup for c in cells if c.suite == suite]
+        if speedups:
+            result[suite] = geomean(speedups)
+    return result
+
+
+def render_interp(cells: Sequence[InterpCell]) -> str:
+    """The compiled-vs-tree report: per-program rows for the acceptance
+    suite, then the per-suite geomean summary."""
+    cm_cells = [c for c in cells if c.suite == ACCEPTANCE_SUITE]
+    shown = cm_cells or list(cells)
+    headers = ["Program", "amplify", "tree", "compiled", "speedup"]
+    body = [[c.program, f"×{c.amplify}", fmt_ms(c.tree_s),
+             fmt_ms(c.compiled_s), fmt_factor(c.speedup)] for c in shown]
+    table = render_table(
+        headers, body,
+        title="Interpreter: compiled (slot frames) vs tree (dict ribs), "
+              "monitored cm suite")
+    lines = [table, ""]
+    means = suite_geomeans(cells)
+    for suite, mean in means.items():
+        marker = "  <- acceptance" if suite == ACCEPTANCE_SUITE else ""
+        lines.append(f"{suite:12s} geomean speedup {mean:.2f}x{marker}")
+    cm = means.get(ACCEPTANCE_SUITE)
+    if cm is not None:
+        verdict = "PASS" if cm >= ACCEPTANCE_TARGET else "MISS"
+        lines.append(
+            f"\nacceptance: cm geomean {cm:.2f}x vs target "
+            f"≥{ACCEPTANCE_TARGET:.0f}x -> {verdict}")
+    return "\n".join(lines)
+
+
+def interp_report(cells: Sequence[InterpCell], scale: str,
+                  repeats: Optional[int] = None) -> dict:
+    """The machine-readable report (``BENCH_interp.json``)."""
+    if repeats is None and scale in _SCALES:
+        repeats = _SCALES[scale][1]
+    means = suite_geomeans(cells)
+    cm = means.get(ACCEPTANCE_SUITE, 0.0)
+    return {
+        "schema": "bench-interp/v1",
+        "scale": scale,
+        "repeats": repeats,
+        "python": platform.python_version(),
+        "implementation": platform.python_implementation(),
+        "suites": {
+            suite: {
+                "mode": SUITES[suite][0],
+                "strategy": SUITES[suite][1],
+                "geomean_speedup": means.get(suite),
+                "cells": [
+                    {
+                        "program": c.program,
+                        "amplify": c.amplify,
+                        "tree_s": c.tree_s,
+                        "compiled_s": c.compiled_s,
+                        "speedup": c.speedup,
+                    }
+                    for c in cells if c.suite == suite
+                ],
+            }
+            for suite in SUITES if any(c.suite == suite for c in cells)
+        },
+        "acceptance": {
+            "suite": ACCEPTANCE_SUITE,
+            "geomean_speedup": cm,
+            "target": ACCEPTANCE_TARGET,
+            "pass": cm >= ACCEPTANCE_TARGET,
+        },
+    }
+
+
+def write_interp_json(cells: Sequence[InterpCell], path: str,
+                      scale: str, repeats: Optional[int] = None) -> None:
+    with open(path, "w") as f:
+        json.dump(interp_report(cells, scale, repeats), f, indent=2)
+        f.write("\n")

@@ -3,14 +3,14 @@
 Subcommands::
 
     sized run FILE [--mode off|contract|full] [--strategy cm|imperative]
-                   [--backoff] [--mc] [--engine bitmask|reference]
-                   [--max-steps N]
+                   [--machine compiled|tree] [--backoff] [--mc]
+                   [--engine bitmask|reference] [--max-steps N]
     sized verify FILE --entry NAME [--kinds nat,nat] [--result-kind nat]
                       [--mc]
-    sized trace FILE [--mode full|contract] [--mc] [--max-steps N]
-                     [--max-depth N] [--max-nodes N]
-    sized bench table1|fig10|divergence|ablation|mc|compose
-                [--scale quick|full]
+    sized trace FILE [--mode full|contract] [--machine compiled|tree]
+                     [--mc] [--max-steps N] [--max-depth N] [--max-nodes N]
+    sized bench table1|fig10|divergence|ablation|mc|compose|interp
+                [--scale quick|full] [--smoke] [--out PATH]
     sized corpus [--diverging]
 
 ``--mc`` switches the evidence from size-change graphs to monotonicity-
@@ -21,6 +21,12 @@ to-a-ceiling loops pass without custom measures.
 composes: ``bitmask`` (default, two machine ints per graph) or
 ``reference`` (the paper's frozenset of arcs).  Both raise on the same
 call sequences; ``sized bench compose`` measures the gap.
+
+``--machine`` selects the evaluator: ``compiled`` (default — the
+lexical-addressing pass of :mod:`repro.lang.resolve` plus the slot-frame
+machine) or ``tree`` (the direct AST walker).  Both produce identical
+answers; ``sized bench interp`` measures the gap and writes
+``BENCH_interp.json``.
 """
 
 from __future__ import annotations
@@ -52,6 +58,10 @@ def main(argv: Optional[List[str]] = None) -> int:
     p_run.add_argument("--engine", choices=["bitmask", "reference"],
                        default="bitmask",
                        help="size-change graph representation to compose")
+    p_run.add_argument("--machine", choices=["compiled", "tree"],
+                       default="compiled",
+                       help="evaluator: lexically-addressed slot-frame "
+                            "machine (default) or the tree walker")
     p_run.add_argument("--max-steps", type=int, default=None)
 
     p_verify = sub.add_parser("verify", help="statically verify termination")
@@ -72,6 +82,8 @@ def main(argv: Optional[List[str]] = None) -> int:
     p_trace.add_argument("--mc", action="store_true")
     p_trace.add_argument("--engine", choices=["bitmask", "reference"],
                          default="bitmask")
+    p_trace.add_argument("--machine", choices=["compiled", "tree"],
+                         default="compiled")
     p_trace.add_argument("--max-steps", type=int, default=None)
     p_trace.add_argument("--max-depth", type=int, default=None)
     p_trace.add_argument("--max-nodes", type=int, default=200)
@@ -79,9 +91,15 @@ def main(argv: Optional[List[str]] = None) -> int:
     p_bench = sub.add_parser("bench", help="regenerate a table or figure")
     p_bench.add_argument("which",
                          choices=["table1", "fig10", "divergence", "ablation",
-                                  "mc", "compose"])
+                                  "mc", "compose", "interp"])
     p_bench.add_argument("--scale", choices=["quick", "full"], default="quick")
-    p_bench.add_argument("--repeats", type=int, default=3)
+    p_bench.add_argument("--repeats", type=int, default=None,
+                         help="best-of repeats per cell (default: 3, or the"
+                              " interp scale's own default)")
+    p_bench.add_argument("--smoke", action="store_true",
+                         help="interp only: the tiny CI subset")
+    p_bench.add_argument("--out", default="BENCH_interp.json",
+                         help="interp only: where to write the JSON report")
 
     p_corpus = sub.add_parser("corpus", help="list the evaluation corpus")
     p_corpus.add_argument("--diverging", action="store_true")
@@ -115,7 +133,7 @@ def _cmd_run(args) -> int:
                             engine=args.engine)
     answer = run_source(source, mode=args.mode, strategy=args.strategy,
                         monitor=monitor, max_steps=args.max_steps,
-                        source=args.file)
+                        source=args.file, machine=args.machine)
     if answer.output:
         sys.stdout.write(answer.output)
         if not answer.output.endswith("\n"):
@@ -155,7 +173,8 @@ def _cmd_trace(args) -> int:
         source = f.read()
     result = trace_source(source,
                           monitor=_make_monitor(args.mc, engine=args.engine),
-                          mode=args.mode, max_steps=args.max_steps)
+                          mode=args.mode, max_steps=args.max_steps,
+                          machine=args.machine)
     print(render_tree(result.roots, max_depth=args.max_depth,
                       max_nodes=args.max_nodes))
     answer = result.answer
@@ -180,7 +199,8 @@ def _cmd_bench(args) -> int:
     elif args.which == "fig10":
         from repro.bench import render_fig10, run_fig10
 
-        print(render_fig10(run_fig10(scale=args.scale, repeats=args.repeats)))
+        print(render_fig10(run_fig10(scale=args.scale,
+                                     repeats=args.repeats or 3)))
     elif args.which == "divergence":
         from repro.bench import render_divergence, run_divergence
 
@@ -190,17 +210,25 @@ def _cmd_bench(args) -> int:
 
         print(render_mc(run_mc_static(),
                         run_mc_dynamic(scale=args.scale,
-                                       repeats=args.repeats)))
+                                       repeats=args.repeats or 3)))
     elif args.which == "compose":
         from repro.bench import render_compose, run_compose
 
         print(render_compose(run_compose(scale=args.scale,
-                                         repeats=args.repeats)))
+                                         repeats=args.repeats or 3)))
+    elif args.which == "interp":
+        from repro.bench import render_interp, run_interp, write_interp_json
+
+        scale = "smoke" if args.smoke else args.scale
+        cells = run_interp(scale=scale, repeats=args.repeats)
+        print(render_interp(cells))
+        write_interp_json(cells, args.out, scale=scale, repeats=args.repeats)
+        print(f"\nwrote {args.out}")
     else:
         from repro.bench import render_ablation, run_ablation
 
         print(render_ablation(run_ablation(scale=args.scale,
-                                           repeats=args.repeats)))
+                                           repeats=args.repeats or 3)))
     return 0
 
 

@@ -24,8 +24,12 @@ _MASK = _WIDTH - 1
 _MAX_SHIFT = 30               # enough for 32-bit hash prefixes
 
 
-def _popcount(x: int) -> int:
-    return bin(x).count("1")
+try:
+    # Python ≥ 3.10: a single C-level call.
+    _popcount = int.bit_count
+except AttributeError:  # pragma: no cover - exercised on Python < 3.10
+    def _popcount(x: int) -> int:
+        return bin(x).count("1")
 
 
 class _BitmapNode:
@@ -288,16 +292,17 @@ class IdKey:
     *object*; Lemma A.1 of the paper guarantees some closure object recurs on
     every infinite call sequence, so identity keying preserves the
     divergence-catching guarantee while avoiding false sharing between
-    structurally equal closures.
+    structurally equal closures.  The hash is computed once at construction.
     """
 
-    __slots__ = ("obj",)
+    __slots__ = ("obj", "_hash")
 
     def __init__(self, obj: Any):
         self.obj = obj
+        self._hash = id(obj) & 0xFFFFFFFF
 
     def __hash__(self) -> int:
-        return id(self.obj) & 0xFFFFFFFF
+        return self._hash
 
     def __eq__(self, other: object) -> bool:
         return isinstance(other, IdKey) and other.obj is self.obj

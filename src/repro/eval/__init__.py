@@ -1,7 +1,13 @@
 """Evaluators for the embedded language.
 
-:mod:`repro.eval.machine` is a CEK-style machine with proper tail calls.
-It implements three modes:
+:mod:`repro.eval.machine` holds two CEK-style machines with proper tail
+calls — the ``tree`` AST walker (the spec-conformance reference) and the
+default ``compiled`` machine, which first runs the lexical-addressing
+pass of :mod:`repro.lang.resolve` and then executes slot-addressed code
+over flat list frames.  Select with ``machine={'compiled','tree'}`` on
+:func:`run_program` / :func:`run_source` / :func:`make_env`.
+
+Both implement three modes:
 
 * ``off`` — the standard semantics ``⇓`` (contracts are inert),
 * ``contract`` — λCSCT (Fig. 7/13): monitoring starts in the dynamic extent
@@ -15,13 +21,24 @@ grows the continuation on tail calls).
 """
 
 from repro.eval.errors import MachineTimeout, SchemeError
-from repro.eval.machine import Answer, eval_expr, run_program, run_source
+from repro.eval.machine import (
+    Answer,
+    compile_code,
+    eval_code,
+    eval_expr,
+    make_env,
+    run_program,
+    run_source,
+)
 
 __all__ = [
     "MachineTimeout",
     "SchemeError",
     "Answer",
+    "compile_code",
+    "eval_code",
     "eval_expr",
+    "make_env",
     "run_program",
     "run_source",
 ]

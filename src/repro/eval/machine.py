@@ -1,11 +1,28 @@
-"""The CEK machine: standard, contract-monitored (λCSCT) and fully
+"""The CEK machines: standard, contract-monitored (λCSCT) and fully
 monitored (λSCT) evaluation with proper tail calls.
 
-The machine is a single explicit-stack loop.  Continuation frames are plain
-tuples whose *last two slots* snapshot the monitoring state current when the
-frame was pushed; popping a frame restores them.  Because closure entry is
-the only point where monitoring state changes, this is exactly
-continuation-mark dynamic scoping:
+Two evaluators share the observable semantics (differentially tested over
+the whole corpus — ``tests/test_compiled_machine.py``):
+
+* the **tree machine** (:func:`eval_expr`) walks the
+  :mod:`repro.lang.ast` nodes directly over dict-rib
+  :class:`~repro.values.env.Env` chains — the spec-conformance reference,
+  kept close to the paper's figures;
+* the **compiled machine** (:func:`eval_code`, the default) first runs the
+  lexical-addressing pass (:mod:`repro.lang.resolve`) and then executes
+  slot-addressed code over flat list frames: a variable reference is a
+  couple of list indexings, an application reuses its evaluated-arguments
+  list as the callee's frame, immediate subexpressions (literals,
+  variables, λs, nested primitive calls) evaluate without touching the
+  continuation, and the size-change monitor's common no-violation call
+  runs through a per-closure cached key and
+  :meth:`~repro.sct.monitor.SCMonitor.advance_fast`.
+
+Both machines are single explicit-stack loops.  Continuation frames'
+*last two slots* snapshot the monitoring state current when the frame was
+pushed; popping a frame restores them.  Because closure entry is the only
+point where monitoring state changes, this is exactly continuation-mark
+dynamic scoping:
 
 * entering a closure body *updates* the current table (``upd``, Fig. 4),
 * a non-tail caller's pending frame holds the outer table, so returning
@@ -21,7 +38,8 @@ broken-TCO trade-off the paper measures in Fig. 10.
 
 from __future__ import annotations
 
-from typing import List, Optional, Tuple
+import weakref
+from typing import List, Optional
 
 from repro.ds.hamt import Hamt
 from repro.eval.errors import MachineTimeout, SchemeError
@@ -29,7 +47,10 @@ from repro.lang import ast
 from repro.lang.parser import parse_program
 from repro.lang.prims import PRELUDE_SOURCE, PRIMITIVES
 from repro.lang.program import Program, TopDefine
+from repro.lang.resolve import Code, resolve
 from repro.sct.errors import SizeChangeViolation
+from repro.sct.monitor import MISSING as _MISS_ENTRY
+from repro.sct.monitor import Entry as _Entry
 from repro.sct.monitor import SCMonitor
 from repro.sexp.datum import intern
 from repro.values.env import Env, GlobalEnv, UnboundVariable
@@ -42,7 +63,7 @@ from repro.values.values import (
     write_value,
 )
 
-# Frame tags.
+# Tree-machine frame tags.
 F_IF = 0
 F_APPFN = 1
 F_APPARG = 2
@@ -53,9 +74,31 @@ F_SET = 6
 F_TERMC = 7
 F_RESTORE = 8
 
+# Compiled-machine frame tags (frames are mutable lists, reused in place).
+KF_APP = 0
+KF_IF = 1
+KF_BEGIN = 2
+KF_LET = 3
+KF_LETREC = 4
+KF_SETLOCAL = 5
+KF_SETGLOBAL = 6
+KF_TERMC = 7
+KF_RESTORE = 8
+
 _UNDEF = object()
 
+# The compiled machine's cm-strategy fast path keeps the size-change table
+# as (base, closure, entry, closure, entry, ...): a flat identity-scanned
+# part in front of an optional HAMT base.  When the flat part holds 16
+# closures (33 slots, ≈ where linear scan and hashed lookup break even) it
+# folds into the base and starts fresh, so a loop's hot closures always
+# sit in the flat part.
+_TABLE_PROMOTE = 33
+_EMPTY_FSET = frozenset()
+
 ROOT_BLAME = "the program"
+
+MACHINES = ("compiled", "tree")
 
 _K = ast  # short alias for kind constants
 
@@ -341,6 +384,631 @@ def eval_expr(
             )
 
 
+# -- the compiled machine ------------------------------------------------------
+
+# Resolved-code cache, weakly keyed by AST node (identity hash/eq), so
+# repeated runs of a parsed program resolve once, while dropping the
+# program frees its compiled code — a long-lived process calling
+# run_source in a loop does not accumulate entries.
+_CODE_CACHE: "weakref.WeakKeyDictionary[ast.Node, Code]" = \
+    weakref.WeakKeyDictionary()
+
+
+def compile_code(expr: ast.Node) -> Code:
+    """The lexically-addressed code for ``expr`` (cached per AST node, so
+    repeated runs of a parsed program pay for resolution once)."""
+    code = _CODE_CACHE.get(expr)
+    if code is None:
+        code = _CODE_CACHE[expr] = resolve(expr)
+    return code
+
+
+def eval_code(
+    code: Code,
+    genv: GlobalEnv,
+    *,
+    mode: str = "off",
+    strategy: str = "cm",
+    monitor: Optional[SCMonitor] = None,
+    fuel: Optional[_Fuel] = None,
+    mtable: Optional[dict] = None,
+):
+    """Evaluate one compiled form to a value (raises on errors/violations).
+
+    The observable behaviour matches :func:`eval_expr` on the same source;
+    the differences are representational: flat list frames instead of dict
+    ribs (slot 0 of a frame is its parent), continuation frames that are
+    mutable lists reused in place while an application accumulates
+    arguments, inline evaluation of immediate subexpressions, and the
+    monitor fast path (cached per-closure key, ``advance_fast``) when the
+    monitor's policy permits an exact inline replication of ``upd``.
+    """
+    if monitor is None:
+        monitor = SCMonitor()
+    if fuel is None:
+        fuel = _Fuel(None)
+    imperative = strategy == "imperative"
+    if strategy not in ("cm", "imperative"):
+        raise ValueError(f"unknown strategy: {strategy!r}")
+    if mode not in ("off", "contract", "full"):
+        raise ValueError(f"unknown mode: {mode!r}")
+
+    monitored_modes = mode != "off"
+    # Monitor fast-path eligibility, decided once per form (see
+    # repro.sct.monitor): `skip_should` elides the constant-true policy
+    # check, `inline_upd` replicates upd/upd_mut inline — tables keyed by
+    # the closure object itself (identity semantics, no key allocation),
+    # with the cm table held as a flat identity-scanned tuple that
+    # promotes to the HAMT past _TABLE_PROMOTE slots — and `advance` is
+    # the (possibly specialized) evidence step.
+    skip_should = monitor.trivial_policy()
+    inline_upd = monitored_modes and monitor.inline_upd_ok()
+    fast_adv = inline_upd and monitor.fast_advance_ok()
+    advance = monitor.advance_fast if fast_adv else monitor.advance
+    # First calls can allocate the trivial entry in place when nothing
+    # (measures, subclassing) distinguishes it from Entry(v⃗, ∅, 1, 2).
+    fast_entry = fast_adv and not monitor.measures
+    initial_entry = monitor.initial_entry
+    restore_mut = monitor.restore_mut
+
+    if mode == "full":
+        s1 = True if imperative else ((None,) if inline_upd else Hamt.empty())
+        s2 = ROOT_BLAME
+    else:
+        s1 = False if imperative else None
+        s2 = None
+    if imperative and mtable is None:
+        mtable = {}
+
+    gget = genv.by_name.get
+    _MISS = _UNDEF  # distinct sentinel reuse is fine: globals never hold it
+
+    # Hot-loop aliases: cell/local loads beat global loads in CPython, and
+    # the dispatch chains below compare against literal tag values (the
+    # same idiom eval_expr uses for AST kinds; see repro.lang.resolve for
+    # the authoritative T_* numbering).
+    _closure = Closure
+    _prim = Prim
+    _undef = _UNDEF
+
+    def eval_args(exprs, i, vals, frame):
+        """Evaluate ``exprs[i:]`` into ``vals`` as far as immediates (and
+        nested all-immediate primitive calls) carry; return the index of
+        the first element needing the continuation (``len(exprs)`` when
+        done)."""
+        n = len(exprs)
+        while i < n:
+            e = exprs[i]
+            t = e.tag
+            if t == 1:  # T_LOCAL
+                f = frame
+                d = e.depth
+                while d:
+                    f = f[0]
+                    d -= 1
+                v = f[e.idx]
+                if v is _undef:
+                    raise SchemeError(
+                        f"{e.name.name}: used before initialization", e.loc)
+            elif t == 0:  # T_LIT
+                v = e.value
+            elif t == 2:  # T_GLOBAL
+                v = gget(e.sname, _MISS)
+                if v is _MISS:
+                    raise SchemeError(
+                        f"unbound variable: {e.name.name}", e.loc)
+            elif t == 3:  # T_LAM
+                v = _closure(e, frame)
+            elif t == 4 and e.cheap and not e.headclo:  # T_APP
+                exprs2 = e.exprs
+                if e.flat:
+                    # Strictly-immediate elements: the head evaluates
+                    # first (the machines' shared order), and the argument
+                    # list builds directly — no slice, no recursion.
+                    fe = exprs2[0]
+                    st = fe.tag
+                    if st == 2:  # T_GLOBAL — the typical primitive ref
+                        fn0 = gget(fe.sname, _MISS)
+                        if fn0 is _MISS:
+                            raise SchemeError(
+                                f"unbound variable: {fe.name.name}", fe.loc)
+                    else:
+                        fn0 = imm1(fe, frame)
+                    if type(fn0) is not _prim or not fn0.pure:
+                        # Not a pure primitive: abandon speculation (an
+                        # abort must not replay effects), permanently.
+                        e.headclo = True
+                        return i
+                    sub = []
+                    k = 1
+                    n2 = len(exprs2)
+                    while k < n2:
+                        se = exprs2[k]
+                        st = se.tag
+                        if st == 1:  # T_LOCAL
+                            f2 = frame
+                            d2 = se.depth
+                            while d2:
+                                f2 = f2[0]
+                                d2 -= 1
+                            v2 = f2[se.idx]
+                            if v2 is _undef:
+                                raise SchemeError(
+                                    f"{se.name.name}: used before "
+                                    f"initialization", se.loc)
+                        elif st == 0:  # T_LIT
+                            v2 = se.value
+                        elif st == 2:  # T_GLOBAL
+                            v2 = gget(se.sname, _MISS)
+                            if v2 is _MISS:
+                                raise SchemeError(
+                                    f"unbound variable: {se.name.name}",
+                                    se.loc)
+                        else:  # T_LAM
+                            v2 = _closure(se, frame)
+                        sub.append(v2)
+                        k += 1
+                    nargs = n2 - 1
+                    if nargs < fn0.arity_min or (fn0.arity_max is not None
+                                                 and nargs > fn0.arity_max):
+                        raise SchemeError(
+                            f"{fn0.name}: arity mismatch with {nargs} "
+                            f"arguments", e.loc)
+                    v = fn0.fn(sub)
+                else:
+                    sub = []
+                    if eval_args(exprs2, 0, sub, frame) < len(exprs2):
+                        return i
+                    fn0 = sub[0]
+                    if type(fn0) is not _prim or not fn0.pure:
+                        e.headclo = True
+                        return i
+                    nargs = len(sub) - 1
+                    if nargs < fn0.arity_min or (fn0.arity_max is not None
+                                                 and nargs > fn0.arity_max):
+                        raise SchemeError(
+                            f"{fn0.name}: arity mismatch with {nargs} "
+                            f"arguments", e.loc)
+                    v = fn0.fn(sub[1:])
+            else:
+                return i
+            vals.append(v)
+            i += 1
+        return n
+
+    def imm1(e, frame):
+        """Evaluate a single immediate (``e.tag < T_IMMEDIATE``)."""
+        t = e.tag
+        if t == 1:  # T_LOCAL
+            f = frame
+            d = e.depth
+            while d:
+                f = f[0]
+                d -= 1
+            v = f[e.idx]
+            if v is _undef:
+                raise SchemeError(
+                    f"{e.name.name}: used before initialization", e.loc)
+            return v
+        if t == 0:  # T_LIT
+            return e.value
+        if t == 2:  # T_GLOBAL
+            v = gget(e.sname, _MISS)
+            if v is _MISS:
+                raise SchemeError(f"unbound variable: {e.name.name}", e.loc)
+            return v
+        return _closure(e, frame)
+
+    kont: List[list] = []
+    control = code
+    cenv = None
+    val = None
+    vals = None
+    loc = None
+    returning = False
+    steps_left = fuel.left
+
+    while True:
+        if steps_left >= 0:
+            steps_left -= 1
+            if steps_left < 0:
+                fuel.left = 0
+                raise MachineTimeout(fuel.limit or 0)
+
+        if not returning:
+            t = control.tag
+            if t == 4:  # T_APP
+                exprs = control.exprs
+                vals = []
+                i = eval_args(exprs, 0, vals, cenv)
+                if i < len(exprs):
+                    kont.append([KF_APP, vals, exprs, i, cenv,
+                                 control.loc, s1, s2])
+                    control = exprs[i]
+                    continue
+                loc = control.loc
+                # fall through to APPLY
+            elif t == 1:  # T_LOCAL
+                f = cenv
+                d = control.depth
+                while d:
+                    f = f[0]
+                    d -= 1
+                val = f[control.idx]
+                if val is _undef:
+                    raise SchemeError(
+                        f"{control.name.name}: used before initialization",
+                        control.loc,
+                    )
+                returning = True
+                continue
+            elif t == 5:  # T_IF
+                t1 = control.test1
+                if t1 is not None:
+                    # Immediate or cheap-application test: branch without
+                    # touching the continuation.  A cheap test whose head
+                    # turns out to be a closure falls through (its pure
+                    # immediates re-evaluate, which is sound).
+                    probe = []
+                    if eval_args(t1, 0, probe, cenv):
+                        control = (control.then if probe[0] is not False
+                                   else control.els)
+                        continue
+                kont.append([KF_IF, control.then, control.els, cenv,
+                             s1, s2])
+                control = control.test
+                continue
+            elif t == 0:  # T_LIT
+                val = control.value
+                returning = True
+                continue
+            elif t == 2:  # T_GLOBAL
+                val = gget(control.sname, _MISS)
+                if val is _MISS:
+                    raise SchemeError(
+                        f"unbound variable: {control.name.name}", control.loc)
+                returning = True
+                continue
+            elif t == 3:  # T_LAM
+                val = _closure(control, cenv)
+                returning = True
+                continue
+            elif t == 7:  # T_LET
+                vals = [cenv]
+                rhss = control.rhss
+                i = eval_args(rhss, 0, vals, cenv)
+                if i < len(rhss):
+                    kont.append([KF_LET, control, i, vals, cenv, s1, s2])
+                    control = rhss[i]
+                else:
+                    cenv = vals
+                    control = control.body
+                continue
+            elif t == 8:  # T_LETREC
+                frame = [cenv] + [_UNDEF] * control.nslots
+                rhss = control.rhss
+                names = control.names
+                i = 0
+                n = len(rhss)
+                while i < n and rhss[i].tag < 4:
+                    v = imm1(rhss[i], frame)
+                    if type(v) is _closure and v.name is None:
+                        v.name = names[i].name
+                    frame[i + 1] = v
+                    i += 1
+                cenv = frame
+                if i < n:
+                    kont.append([KF_LETREC, control, i, frame, s1, s2])
+                    control = rhss[i]
+                else:
+                    control = control.body
+                continue
+            elif t == 6:  # T_BEGIN
+                body = control.body
+                last = control.last
+                i = 0
+                while i < last and body[i].tag < 4:
+                    imm1(body[i], cenv)  # evaluated for effect (may raise)
+                    i += 1
+                if i < last:
+                    kont.append([KF_BEGIN, body, i + 1, cenv, s1, s2])
+                control = body[i]
+                continue
+            elif t == 9:  # T_SETLOCAL
+                e = control.expr
+                if e.tag < 4:
+                    v = imm1(e, cenv)
+                    f = cenv
+                    d = control.depth
+                    while d:
+                        f = f[0]
+                        d -= 1
+                    f[control.idx] = v
+                    val = VOID
+                    returning = True
+                else:
+                    kont.append([KF_SETLOCAL, control.depth, control.idx,
+                                 cenv, s1, s2])
+                    control = e
+                continue
+            elif t == 10:  # T_SETGLOBAL
+                e = control.expr
+                if e.tag < 4:
+                    v = imm1(e, cenv)
+                    try:
+                        genv.set(control.name, v)
+                    except UnboundVariable as exc:
+                        raise SchemeError(str(exc)) from None
+                    val = VOID
+                    returning = True
+                else:
+                    kont.append([KF_SETGLOBAL, control.name, s1, s2])
+                    control = e
+                continue
+            elif t == 11:  # T_TERMC
+                e = control.expr
+                if e.tag < 4:
+                    v = imm1(e, cenv)
+                    if type(v) is _closure:
+                        v = TermWrapped(v, control.blame)
+                    val = v
+                    returning = True
+                else:
+                    kont.append([KF_TERMC, control.blame, s1, s2])
+                    control = e
+                continue
+            else:  # pragma: no cover - the resolver emits only these tags
+                raise SchemeError(f"unknown code tag {t}")
+        else:
+            # Returning `val` to the continuation.
+            if not kont:
+                fuel.left = steps_left
+                return val
+            fr = kont.pop()
+            tag = fr[0]
+            s1 = fr[-2]
+            s2 = fr[-1]
+            if tag == 0:  # KF_APP
+                vals = fr[1]
+                vals.append(val)
+                exprs = fr[2]
+                i = fr[3] + 1
+                if i < len(exprs):  # common case: that was the last element
+                    fenv = fr[4]
+                    i = eval_args(exprs, i, vals, fenv)
+                    if i < len(exprs):
+                        fr[3] = i
+                        kont.append(fr)  # reuse the frame, no allocation
+                        control = exprs[i]
+                        cenv = fenv
+                        returning = False
+                        continue
+                loc = fr[5]
+                returning = False
+                # fall through to APPLY
+            elif tag == 1:  # KF_IF
+                control = fr[1] if val is not False else fr[2]
+                cenv = fr[3]
+                returning = False
+                continue
+            elif tag == 2:  # KF_BEGIN
+                body = fr[1]
+                i = fr[2]
+                benv = fr[3]
+                last = len(body) - 1
+                while i < last and body[i].tag < 4:
+                    imm1(body[i], benv)
+                    i += 1
+                if i < last:
+                    fr[2] = i + 1
+                    kont.append(fr)
+                control = body[i]
+                cenv = benv
+                returning = False
+                continue
+            elif tag == 3:  # KF_LET
+                node = fr[1]
+                vals = fr[3]
+                vals.append(val)
+                rhss = node.rhss
+                i = fr[2] + 1
+                if i < len(rhss):
+                    lenv = fr[4]
+                    i = eval_args(rhss, i, vals, lenv)
+                    if i < len(rhss):
+                        fr[2] = i
+                        kont.append(fr)
+                        control = rhss[i]
+                        cenv = lenv
+                        returning = False
+                        continue
+                cenv = vals
+                control = node.body
+                returning = False
+                continue
+            elif tag == 4:  # KF_LETREC
+                node = fr[1]
+                frame = fr[3]
+                names = node.names
+                i = fr[2]
+                if type(val) is _closure and val.name is None:
+                    val.name = names[i].name
+                frame[i + 1] = val
+                i += 1
+                rhss = node.rhss
+                n = len(rhss)
+                while i < n and rhss[i].tag < 4:
+                    v = imm1(rhss[i], frame)
+                    if type(v) is _closure and v.name is None:
+                        v.name = names[i].name
+                    frame[i + 1] = v
+                    i += 1
+                cenv = frame
+                if i < n:
+                    fr[2] = i
+                    kont.append(fr)
+                    control = rhss[i]
+                else:
+                    control = node.body
+                returning = False
+                continue
+            elif tag == 5:  # KF_SETLOCAL
+                f = fr[3]
+                d = fr[1]
+                while d:
+                    f = f[0]
+                    d -= 1
+                f[fr[2]] = val
+                val = VOID
+                continue
+            elif tag == 6:  # KF_SETGLOBAL
+                try:
+                    genv.set(fr[1], val)
+                except UnboundVariable as exc:
+                    raise SchemeError(str(exc)) from None
+                val = VOID
+                continue
+            elif tag == 7:  # KF_TERMC
+                if type(val) is _closure:
+                    val = TermWrapped(val, fr[1])
+                # term/c on primitives and other values is the identity
+                # ([Wrap-Prim]); already-wrapped closures keep their label.
+                continue
+            elif tag == 8:  # KF_RESTORE
+                restore_mut(mtable, fr[1], fr[2])
+                continue
+            else:  # pragma: no cover
+                raise SchemeError(f"unknown frame tag {tag}")
+
+        # -- APPLY: vals = [fn, arg...], loc set --------------------------------
+        # Charge fuel per argument: inline immediate evaluation skips loop
+        # iterations, so without this a fuel budget would admit several
+        # times more monitored calls than the tree machine's — fuel stays
+        # a machine-comparable bound on work, not on dispatch count.
+        if steps_left > 0:
+            n = len(vals) - 1
+            steps_left = steps_left - n if steps_left > n else 0
+        fn = vals[0]
+        while True:
+            tf = type(fn)
+            if tf is _closure:
+                clam = fn.lam
+                nargs = len(vals) - 1
+                if nargs != clam.nparams:
+                    raise SchemeError(
+                        f"{fn.describe()}: expected {clam.nparams} arguments,"
+                        f" got {nargs}",
+                        loc,
+                    )
+                if imperative:
+                    if s1 and (skip_should or monitor.should_monitor(fn)):
+                        if nargs == 1:
+                            args = (vals[1],)
+                        elif nargs == 2:
+                            args = (vals[1], vals[2])
+                        elif nargs == 3:
+                            args = (vals[1], vals[2], vals[3])
+                        else:
+                            args = tuple(vals[1:])
+                        if inline_upd:
+                            monitor.calls_seen += 1
+                            prev = mtable.get(fn, _MISS_ENTRY)
+                            if prev is not _MISS_ENTRY:
+                                mtable[fn] = advance(prev, fn, args, s2)
+                            elif fast_entry:
+                                mtable[fn] = _Entry(args, _EMPTY_FSET, 1, 2)
+                            else:
+                                mtable[fn] = initial_entry(fn, args)
+                            kont.append([KF_RESTORE, fn, prev, s1, s2])
+                        else:
+                            key, prev = monitor.upd_mut(mtable, fn, args, s2)
+                            kont.append([KF_RESTORE, key, prev, s1, s2])
+                elif s1 is not None:
+                    if skip_should or monitor.should_monitor(fn):
+                        if nargs == 1:
+                            args = (vals[1],)
+                        elif nargs == 2:
+                            args = (vals[1], vals[2])
+                        elif nargs == 3:
+                            args = (vals[1], vals[2], vals[3])
+                        else:
+                            args = tuple(vals[1:])
+                        if type(s1) is tuple:
+                            # Hybrid identity table: (base, clo, entry,
+                            # clo, entry, ...).  The flat part is scanned
+                            # with `is` — closures that actually recur
+                            # live there and pay no hashing; one-shot
+                            # closures go straight into the `base` HAMT
+                            # (slot 0), which the flat part shadows.
+                            monitor.calls_seen += 1
+                            L = len(s1)
+                            i = 1
+                            while i < L:
+                                if s1[i] is fn:
+                                    break
+                                i += 2
+                            if i < L:
+                                entry = advance(s1[i + 1], fn, args, s2)
+                                if L == 3:  # the one-loop common case
+                                    s1 = (s1[0], fn, entry)
+                                else:
+                                    s1 = s1[:i] + (fn, entry) + s1[i + 2:]
+                            else:
+                                base = s1[0]
+                                entry = None if base is None \
+                                    else base.get(fn)
+                                if entry is not None:
+                                    # Recurring closure whose flat copy
+                                    # was folded: advance and re-adopt
+                                    # (the stale base copy is shadowed,
+                                    # then overwritten on the next fold).
+                                    entry = advance(entry, fn, args, s2)
+                                elif fast_entry:
+                                    entry = _Entry(args, _EMPTY_FSET, 1, 2)
+                                else:
+                                    entry = initial_entry(fn, args)
+                                if L < _TABLE_PROMOTE:
+                                    s1 = s1 + (fn, entry)
+                                else:
+                                    if base is None:
+                                        base = Hamt.empty()
+                                    j = 1
+                                    while j < L:
+                                        base = base.set(s1[j], s1[j + 1])
+                                        j += 2
+                                    s1 = (base, fn, entry)
+                        else:
+                            s1 = monitor.upd(s1, fn, args, s2)
+                vals[0] = fn.env
+                cenv = vals
+                control = clam.body
+                returning = False
+                break
+            if tf is _prim:
+                nargs = len(vals) - 1
+                if nargs < fn.arity_min or (fn.arity_max is not None
+                                            and nargs > fn.arity_max):
+                    raise SchemeError(
+                        f"{fn.name}: arity mismatch with {nargs} arguments",
+                        loc,
+                    )
+                val = fn.fn(vals[1:])
+                returning = True
+                break
+            if tf is TermWrapped:
+                if monitored_modes:
+                    s2 = fn.blame
+                    if imperative:
+                        s1 = True
+                    elif s1 is None:
+                        s1 = (None,) if inline_upd else Hamt.empty()
+                fn = fn.closure
+                continue
+            raise SchemeError(
+                f"application of a non-procedure: {write_value(fn)}", loc
+            )
+
+
 # -- whole programs ------------------------------------------------------------
 
 _PRELUDE_PROGRAM: Optional[Program] = None
@@ -364,16 +1032,35 @@ def _contracts_program() -> Program:
     return _CONTRACTS_PROGRAM
 
 
-def make_env(include_prelude: bool = True) -> GlobalEnv:
+def _check_machine(machine: str) -> None:
+    if machine not in MACHINES:
+        raise ValueError(f"unknown machine: {machine!r} (use 'compiled' or"
+                         f" 'tree')")
+
+
+def make_env(include_prelude: bool = True,
+             machine: str = "compiled") -> GlobalEnv:
     """A fresh global environment with primitives, the prelude, and the
-    contract library (:mod:`repro.lang.contracts_lib`)."""
+    contract library (:mod:`repro.lang.contracts_lib`).
+
+    ``machine`` selects which evaluator builds the prelude closures.  The
+    two machines' closures carry different environment representations
+    (dict ribs vs list frames), so an environment is only usable by the
+    machine that built it; :func:`run_program` checks.
+    """
+    _check_machine(machine)
     env = GlobalEnv(dict(PRIMITIVES))
+    env.flavor = machine
     if include_prelude:
         fuel = _Fuel(None)
+        compiled = machine == "compiled"
         for library in (_prelude_program(), _contracts_program()):
             for form in library.forms:
                 assert isinstance(form, TopDefine)
-                value = eval_expr(form.expr, env, fuel=fuel)
+                if compiled:
+                    value = eval_code(compile_code(form.expr), env, fuel=fuel)
+                else:
+                    value = eval_expr(form.expr, env, fuel=fuel)
                 if type(value) is Closure and value.name is None:
                     value.name = form.name.name
                 env.define(form.name, value)
@@ -389,36 +1076,55 @@ def run_program(
     max_steps: Optional[int] = None,
     env: Optional[GlobalEnv] = None,
     include_prelude: bool = True,
+    machine: str = "compiled",
 ) -> Answer:
     """Run a whole program; the answer holds the last expression's value.
 
     ``mode``: ``'off'`` (standard ⇓), ``'contract'`` (λCSCT), ``'full'``
-    (λSCT).  ``strategy``: ``'cm'`` or ``'imperative'``.
+    (λSCT).  ``strategy``: ``'cm'`` or ``'imperative'``.  ``machine``:
+    ``'compiled'`` (lexical-addressing pass + slot-frame machine, the
+    default) or ``'tree'`` (the direct AST walker) — observably
+    equivalent, differentially tested, an order apart in speed.
     """
+    _check_machine(machine)
     if env is None:
-        env = make_env(include_prelude)
+        env = make_env(include_prelude, machine=machine)
     else:
+        if env.flavor is not None and env.flavor != machine:
+            raise ValueError(
+                f"environment built by the {env.flavor!r} machine cannot "
+                f"run on the {machine!r} machine (closure representations "
+                f"differ); build it with make_env(machine={machine!r})")
         env = env.snapshot()
     if monitor is None:
         monitor = SCMonitor()
     output: List[str] = []
     env.define(intern("display"),
-               Prim("display", lambda a: _display(a, output), 1, 1))
+               Prim("display", lambda a: _display(a, output), 1, 1,
+                    pure=False))
     env.define(intern("write"),
-               Prim("write", lambda a: _write(a, output), 1, 1))
+               Prim("write", lambda a: _write(a, output), 1, 1, pure=False))
     env.define(intern("newline"),
-               Prim("newline", lambda a: _newline(output), 0, 0))
+               Prim("newline", lambda a: _newline(output), 0, 0, pure=False))
 
     fuel = _Fuel(max_steps)
     mtable: dict = {}
     last = VOID
     steps_used = 0
+    compiled = machine == "compiled"
     try:
         for form in program.forms:
-            value = eval_expr(
-                form.expr, env, mode=mode, strategy=strategy,
-                monitor=monitor, fuel=fuel, mtable=mtable,
-            )
+            if compiled:
+                value = eval_code(
+                    compile_code(form.expr), env, mode=mode,
+                    strategy=strategy, monitor=monitor, fuel=fuel,
+                    mtable=mtable,
+                )
+            else:
+                value = eval_expr(
+                    form.expr, env, mode=mode, strategy=strategy,
+                    monitor=monitor, fuel=fuel, mtable=mtable,
+                )
             if isinstance(form, TopDefine):
                 if type(value) is Closure and value.name is None:
                     value.name = form.name.name
@@ -446,12 +1152,14 @@ def run_source(
     env: Optional[GlobalEnv] = None,
     include_prelude: bool = True,
     source: str = "<program>",
+    machine: str = "compiled",
 ) -> Answer:
     """Parse and run program text."""
     program = parse_program(text, source=source)
     return run_program(
         program, mode=mode, strategy=strategy, monitor=monitor,
         max_steps=max_steps, env=env, include_prelude=include_prelude,
+        machine=machine,
     )
 
 

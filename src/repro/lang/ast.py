@@ -33,9 +33,12 @@ _label_counter = itertools.count()
 
 
 class Node:
-    """Base class; exists only for isinstance checks in tooling."""
+    """Base class; exists only for isinstance checks in tooling.
 
-    __slots__ = ("loc",)
+    ``__weakref__`` lets the compiled machine key its resolved-code cache
+    weakly by AST node, so dropping a parsed program frees its code."""
+
+    __slots__ = ("loc", "__weakref__")
     kind: int = -1
 
 

@@ -77,9 +77,17 @@ def _hash(v, who: str) -> HashValue:
 
 
 def _chain(args: List, rel: Callable, who: str) -> bool:
-    for a, b in zip(args, args[1:]):
-        if not rel(_num(a, who), _num(b, who)):
+    # Two-integer compares dominate every loop-test in the corpus.
+    if len(args) == 2:
+        a, b = args
+        if type(a) is int and type(b) is int:
+            return rel(a, b)
+    prev = _num(args[0], who)
+    for b in args[1:]:
+        nxt = _num(b, who)
+        if not rel(prev, nxt):
             return False
+        prev = nxt
     return True
 
 
@@ -87,6 +95,10 @@ def _chain(args: List, rel: Callable, who: str) -> bool:
 
 
 def _p_add(args):
+    if len(args) == 2:
+        a, b = args
+        if type(a) is int and type(b) is int:
+            return a + b
     total = 0
     for a in args:
         total = total + _num(a, "+")
@@ -94,6 +106,10 @@ def _p_add(args):
 
 
 def _p_sub(args):
+    if len(args) == 2:
+        a, b = args
+        if type(a) is int and type(b) is int:
+            return a - b
     if len(args) == 1:
         return -_num(args[0], "-")
     total = _num(args[0], "-")
@@ -103,6 +119,10 @@ def _p_sub(args):
 
 
 def _p_mul(args):
+    if len(args) == 2:
+        a, b = args
+        if type(a) is int and type(b) is int:
+            return a * b
     total = 1
     for a in args:
         total = total * _num(a, "*")
@@ -121,7 +141,10 @@ def _p_remainder(args):
     a, b = _int(args[0], "remainder"), _int(args[1], "remainder")
     if b == 0:
         raise SchemeError("remainder: division by zero")
-    return a - _p_quotient([a, b]) * b
+    q = abs(a) // abs(b)
+    if (a >= 0) != (b >= 0):
+        q = -q
+    return a - q * b
 
 
 def _p_modulo(args):
@@ -152,11 +175,17 @@ def _p_expt(args):
 
 
 def _p_car(args):
-    return _pair(args[0], "car").car
+    v = args[0]
+    if type(v) is Pair:
+        return v.car
+    raise SchemeError(f"car: expected a pair, got {write_value(v)}")
 
 
 def _p_cdr(args):
-    return _pair(args[0], "cdr").cdr
+    v = args[0]
+    if type(v) is Pair:
+        return v.cdr
+    raise SchemeError(f"cdr: expected a pair, got {write_value(v)}")
 
 
 def _caxr(path: str):
@@ -334,8 +363,9 @@ def _p_void(args):
 _PRIM_SPECS = []
 
 
-def _prim(name: str, arity_min: int, arity_max: Optional[int], fn: Callable):
-    _PRIM_SPECS.append(Prim(name, fn, arity_min, arity_max))
+def _prim(name: str, arity_min: int, arity_max: Optional[int], fn: Callable,
+          pure: bool = True):
+    _PRIM_SPECS.append(Prim(name, fn, arity_min, arity_max, pure=pure))
 
 
 # numbers
@@ -443,7 +473,7 @@ _prim("box", 1, 1, lambda a: Box(a[0]))
 _prim("box?", 1, 1, lambda a: type(a[0]) is Box)
 _prim("unbox", 1, 1, lambda a: a[0].value if type(a[0]) is Box
       else _raise(SchemeError("unbox: expected a box")))
-_prim("set-box!", 2, 2, lambda a: _set_box(a))
+_prim("set-box!", 2, 2, lambda a: _set_box(a), pure=False)
 
 # misc
 _prim("void", 0, None, _p_void)
@@ -516,5 +546,7 @@ def make_global_env(include_prelude: bool = True) -> GlobalEnv:
     closures — installed lazily by :func:`repro.eval.machine.run_program`
     to avoid an import cycle)."""
     env = GlobalEnv(dict(PRIMITIVES))
-    env.bindings[intern("%include-prelude")] = include_prelude
+    # Through define(), not a raw bindings write: define keeps the
+    # string-keyed mirror the compiled machine reads in sync.
+    env.define(intern("%include-prelude"), include_prelude)
     return env

@@ -39,7 +39,14 @@ class SizeChangeViolation(Exception):
         self.blame = blame
         self.call_count = call_count
         self.param_names = list(param_names) if param_names else None
-        super().__init__(self._render())
+        # Rendering walks the argument values (write_value); under the
+        # non-enforcing Fig. 6 semantics a violation is recorded per call,
+        # so rendering eagerly here would make a diverging extent quadratic.
+        # Render on demand instead.
+        super().__init__()
+
+    def __str__(self) -> str:
+        return self._render()
 
     def _render(self) -> str:
         from repro.values.values import write_value

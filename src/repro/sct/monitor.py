@@ -47,11 +47,24 @@ from repro.ds.hamt import Hamt, IdKey
 from repro.sct import bitgraph
 from repro.sct.errors import SizeChangeViolation
 from repro.sct.graph import SCGraph, graph_of_values
-from repro.sct.order import DEFAULT_ORDER
-from repro.values.equality import value_hash
-from repro.values.values import Closure
+from repro.sct.order import DEFAULT_ORDER, SizeOrder
+from repro.values.equality import scheme_equal, value_hash
+from repro.values.values import Closure, Pair, size_of
 
 _MISSING = object()
+
+# Fast-path memo tables, shared across monitors: packed graphs recur from a
+# small per-program repertoire even when a composition set never stabilizes
+# (permuted-argument loops à la tak), so composition and desc? become dict
+# hits after warm-up.  Keys are single ints — the operand masks (each
+# < 2^(m·m)) concatenated with the arity — so probes allocate no tuples.
+# Cleared wholesale past _CACHE_CAP entries, so a long-lived process cannot
+# accumulate (the compose cache is keyed by graph pairs, quadratic in the
+# distinct graphs seen across all runs); one run's working set is far
+# below the cap, making eviction a non-event in practice.
+_COMPOSE_CACHE: Dict[int, Tuple[int, int]] = {}
+_DESC_CACHE: Dict[int, bool] = {}
+_CACHE_CAP = 1 << 16
 
 
 class Entry:
@@ -60,9 +73,16 @@ class Entry:
     Under the bitmask engine ``comps`` holds packed ``(strict, weak)``
     int pairs encoded at arity ``m``; under the reference engine it holds
     :class:`~repro.sct.graph.SCGraph` objects and ``m`` stays 0.
+
+    ``sizes`` memoizes ``size_of`` over ``check_args`` for the compiled
+    machine's fast path (:meth:`SCMonitor.advance_fast`): the default
+    :class:`~repro.sct.order.SizeOrder` compares only sizes, so caching
+    them turns the m×m evidence-graph build into integer compares.  It is
+    ``None`` until a fast-path check computes it (the generic paths never
+    read it).
     """
 
-    __slots__ = ("check_args", "comps", "count", "next_check", "m")
+    __slots__ = ("check_args", "comps", "count", "next_check", "m", "sizes")
 
     def __init__(
         self,
@@ -71,12 +91,14 @@ class Entry:
         count: int,
         next_check: int,
         m: int = 0,
+        sizes: Optional[Tuple] = None,
     ):
         self.check_args = check_args
         self.comps = comps
         self.count = count
         self.next_check = next_check
         self.m = m
+        self.sizes = sizes
 
     def __repr__(self) -> str:
         return f"Entry(count={self.count}, |S|={len(self.comps)})"
@@ -145,16 +167,32 @@ class SCMonitor:
         """Hashable table key for ``clo`` under the keying policy."""
         if self.keying == "identity":
             return IdKey(clo)
-        # 'label': structural closure hash — λ label plus the hash of the
-        # closure's immediate rib, approximating the paper's closure hashing.
+        # 'label': structural closure hash — λ label plus a hash of the
+        # closure's immediate captured rib, approximating the paper's
+        # closure hashing.  Tree closures hash their dict rib; compiled
+        # closures hash the same name×value pairs through the frame and
+        # the ``env_names`` tuple the resolver stamped on the λ, so the
+        # two machines alias closures identically.  (One corner differs:
+        # closures created at top level capture the whole global frame
+        # under the tree machine but no frame at all when compiled, so
+        # the tree hash tracks global content there and the compiled hash
+        # is constant — distinguishable only when the same top-level λ
+        # re-evaluates under changed globals.)
         env = clo.env
         rib = getattr(env, "bindings", None)
-        if rib is None or type(rib) is not dict:
-            return ("label", clo.lam.label, 0)
-        code = 0
-        for name, value in rib.items():
-            code ^= (hash(name) * 31 + value_hash(value)) & 0x7FFFFFFF
-        return ("label", clo.lam.label, code)
+        if rib is not None and type(rib) is dict:
+            code = 0
+            for name, value in rib.items():
+                code ^= (hash(name) * 31 + value_hash(value)) & 0x7FFFFFFF
+            return ("label", clo.lam.label, code)
+        if type(env) is list:
+            code = 0
+            i = 1
+            for name in getattr(clo.lam, "env_names", ()):
+                code ^= (hash(name) * 31 + value_hash(env[i])) & 0x7FFFFFFF
+                i += 1
+            return ("label", clo.lam.label, code)
+        return ("label", clo.lam.label, 0)
 
     # -- the paper's `upd` ------------------------------------------------------
 
@@ -186,7 +224,7 @@ class SCMonitor:
                      [p.name for p in clo.params])
                 )
             return Entry(entry.check_args, entry.comps, count,
-                         entry.next_check, entry.m)
+                         entry.next_check, entry.m, entry.sizes)
         self.checks_done += 1
         margs = self.measured(clo, args)
         if self._bitmask_fast:
@@ -266,6 +304,197 @@ class SCMonitor:
                 break
         return Entry(margs, frozenset(new_comps), count,
                      self._next_check(count), m)
+
+    # -- the compiled machine's fast path -----------------------------------------
+
+    def inline_upd_ok(self) -> bool:
+        """True when the compiled machine may replicate ``upd``/``upd_mut``
+        inline with a per-closure cached :class:`IdKey`: identity keying
+        with the base key, no event stream (``upd`` emits the initial-call
+        event, which the inline path skips), and unoverridden table ops.
+        :class:`repro.mc.monitor.MCMonitor` qualifies — it only overrides
+        ``make_graph`` — so it inherits the whole call-site fast path."""
+        cls = type(self)
+        return (
+            self.keying == "identity"
+            and self.events is None
+            and cls.key_for is SCMonitor.key_for
+            and cls.upd is SCMonitor.upd
+            and cls.upd_mut is SCMonitor.upd_mut
+            and cls.initial_entry is SCMonitor.initial_entry
+        )
+
+    def trivial_policy(self) -> bool:
+        """True when ``should_monitor`` is constant-true (no whitelist, no
+        loop-entry set, base method), so callers may skip the call."""
+        return (
+            self.loop_entries is None
+            and not self.whitelist
+            and type(self).should_monitor is SCMonitor.should_monitor
+        )
+
+    def fast_advance_ok(self) -> bool:
+        """True when :meth:`advance_fast` is an exact stand-in for
+        :meth:`advance`: packed size-change evidence under the stock
+        :class:`~repro.sct.order.SizeOrder`, no trace or event capture,
+        and no subclass overriding the evidence pipeline.  (Measures are
+        fine — :meth:`advance_fast` applies them like the generic path.)"""
+        cls = type(self)
+        return (
+            self._bitmask_fast
+            and cls.advance is SCMonitor.advance
+            and cls.measured is SCMonitor.measured
+            and type(self.order) is SizeOrder
+            and self.trace is None
+            and self.events is None
+        )
+
+    def advance_fast(self, entry: Entry, clo: Closure, args: Tuple,
+                     blame) -> Entry:
+        """:meth:`advance` specialized for the compiled machine's hot loop
+        (guarded by :meth:`fast_advance_ok`): the measured tuple is the
+        argument tuple itself, ``size_of`` over the previous arguments is
+        memoized on the entry, and the evidence graph is built straight
+        into the packed masks with integer compares — ``scheme_equal`` runs
+        only on size ties, exactly as :class:`SizeOrder` would."""
+        count = entry.count + 1
+        next_check = entry.next_check
+        if count < next_check:
+            return Entry(entry.check_args, entry.comps, count, next_check,
+                         entry.m, entry.sizes)
+        self.checks_done += 1
+        if self.measures:
+            args = self.measured(clo, args)
+        old = entry.check_args
+        old_sizes = entry.sizes
+        if old_sizes is None:
+            old_sizes = tuple(size_of(v) for v in old)
+        new_sizes = []
+        for v in args:
+            tv = type(v)
+            if tv is int:
+                new_sizes.append(v if v >= 0 else -v)
+            elif tv is Pair:
+                new_sizes.append(v.size)
+            else:
+                new_sizes.append(size_of(v))
+        m = entry.m
+        if not m:
+            m = max(len(old), len(args), 1)
+        strict = 0
+        weak = 0
+        i = 0
+        for vi in old:
+            si = old_sizes[i]
+            base = i * m
+            j = 0
+            for vj in args:
+                if vj is vi:
+                    weak |= 1 << (base + j)
+                else:
+                    sj = new_sizes[j]
+                    if sj is not None and si is not None and sj < si:
+                        strict |= 1 << (base + j)
+                    elif sj == si and scheme_equal(vj, vi):
+                        weak |= 1 << (base + j)
+                j += 1
+            i += 1
+        g = (strict, weak)
+        comps = entry.comps
+        if entry.m and entry.m != m:  # pragma: no cover - arity is fixed
+            comps = [bitgraph.widen(c, entry.m, m) for c in comps]
+        new_comps = {g}
+        bad = None
+        if m == 1:
+            # Arity 1, fully inlined: every 1×1 graph is idempotent, so
+            # desc? is simply "has the strict self-arc".
+            any1 = strict | weak
+            for (cs, cw) in comps:
+                ca = cs | cw
+                ns = (cs & any1) | (ca & strict)
+                new_comps.add((ns, (ca & any1) & ~ns))
+            for c in new_comps:
+                if not c[0]:
+                    bad = c
+                    break
+        elif m == 2:
+            # Arity 2, fully inlined: compose and desc? unrolled over the
+            # two middle positions (col0 mask = 0b0101, row0 = 0b11,
+            # diagonal = 0b1001).  Agreement with bitgraph.compose is
+            # property-tested.
+            a1 = strict | weak
+            r0 = a1 & 3
+            r1 = (a1 >> 2) & 3
+            gs0 = strict & 3
+            gs1 = (strict >> 2) & 3
+            for (cs, cw) in comps:
+                ca = cs | cw
+                c0 = ca & 5
+                c1 = (ca >> 1) & 5
+                every = c0 * r0 | c1 * r1
+                ns = ((cs & 5) * r0 | c0 * gs0
+                      | ((cs >> 1) & 5) * r1 | c1 * gs1)
+                new_comps.add((ns, every & ~ns))
+            enforcing = self.enforce
+            for c in new_comps:
+                if enforcing and c in comps:
+                    continue
+                c0s, c0w = c
+                ca = c0s | c0w
+                x0 = ca & 5
+                x1 = (ca >> 1) & 5
+                y0 = ca & 3
+                y1 = (ca >> 2) & 3
+                ev = x0 * y0 | x1 * y1
+                ns2 = ((c0s & 5) * y0 | x0 * (c0s & 3)
+                       | ((c0s >> 1) & 5) * y1 | x1 * ((c0s >> 2) & 3))
+                if ns2 == c0s and (ev & ~ns2) == c0w:  # idempotent
+                    if not (c0s & 9):
+                        bad = c
+                        break
+        else:
+            mk = bitgraph.masks(m)
+            mm = m * m
+            if comps:
+                ccache = _COMPOSE_CACHE
+                if len(ccache) > _CACHE_CAP:
+                    ccache.clear()
+                gk = ((strict << mm | weak) << 8) | m
+                for (cs, cw) in comps:
+                    ck = (cs << mm | cw) << (mm + mm + 8) | gk
+                    r = ccache.get(ck)
+                    if r is None:
+                        r = ccache[ck] = bitgraph.compose(
+                            mk, cs, cw, strict, weak)
+                    new_comps.add(r)
+            # Under enforcement a composition already in the entry's set
+            # passed desc? when it was first created (desc? is a pure
+            # function of the graph; a failing one would have raised), so
+            # the stabilized steady state re-checks nothing.  Without
+            # enforcement failing compositions persist and must re-flag on
+            # every call, as the generic path does.
+            enforcing = self.enforce
+            dcache = _DESC_CACHE
+            if len(dcache) > _CACHE_CAP:
+                dcache.clear()
+            for c in new_comps:
+                if enforcing and c in comps:
+                    continue
+                dk = ((c[0] << mm | c[1]) << 8) | m
+                ok = dcache.get(dk)
+                if ok is None:
+                    ok = dcache[dk] = bitgraph.desc_ok(mk, *c)
+                if not ok:
+                    bad = c
+                    break
+        if bad is not None:
+            mk = bitgraph.masks(m)
+            self._flag_violation(clo, old, args,
+                                 bitgraph.unpack(mk, *g),
+                                 bitgraph.unpack(mk, *bad), count, blame)
+        return Entry(args, new_comps, count,
+                     count * 2 if self.backoff else count + 1, m,
+                     tuple(new_sizes))
 
     # -- table strategies --------------------------------------------------------
 

@@ -130,11 +130,21 @@ class ClosureDepthOrder(SizeOrder):
         seen.add(id(clo))
         deepest = 0
         env = clo.env
-        while type(env) is Env:  # local ribs only; the global frame is shared
-            for value in env.bindings.values():
+        # Local ribs only; the global frame is shared.  Tree closures chain
+        # dict ribs; compiled closures chain list frames (slot 0 = parent).
+        while True:
+            if type(env) is Env:
+                values = env.bindings.values()
+                parent = env.parent
+            elif type(env) is list:
+                values = env[1:]
+                parent = env[0]
+            else:
+                break
+            for value in values:
                 if type(value) is Closure:
                     deepest = max(deepest, self.closure_depth(value, seen))
-            env = env.parent
+            env = parent
         seen.discard(id(clo))
         return 1 + deepest
 

@@ -92,6 +92,7 @@ def trace_source(
     mode: str = "full",
     max_steps: Optional[int] = None,
     max_events: Optional[int] = None,
+    machine: str = "compiled",
 ) -> TraceResult:
     """Run ``text`` under the imperative strategy (the one with explicit
     restore frames, hence call/return pairing) collecting the call forest.
@@ -99,13 +100,16 @@ def trace_source(
     Pass a monitor to trace with custom policy (measures, an
     :class:`repro.mc.monitor.MCMonitor`, ``enforce=False`` to keep going
     past violations, ...).  The monitor's ``events`` list is overwritten.
+    An event-collecting monitor disqualifies the machine's inline-``upd``
+    fast path, so both machines emit the identical event stream.
     """
     events: List[tuple] = []
     if monitor is None:
         monitor = SCMonitor()
     monitor.events = events
     answer = run_source(text, mode=mode, strategy="imperative",
-                        monitor=monitor, max_steps=max_steps)
+                        monitor=monitor, max_steps=max_steps,
+                        machine=machine)
     if max_events is not None:
         events = events[:max_events]
     return TraceResult(answer, assemble_tree(events), monitor)

@@ -20,20 +20,26 @@ from typing import Dict, List, Tuple
 
 
 class Symbol:
-    """An interned identifier.  Use :func:`intern`, not the constructor."""
+    """An interned identifier.  Use :func:`intern`, not the constructor.
 
-    __slots__ = ("name",)
+    The hash is computed once at construction (i.e. at interning): symbols
+    key the global environment and, under the ``label`` policy, size-change
+    tables, so every table probe would otherwise re-hash the name.
+    """
+
+    __slots__ = ("name", "_hash")
 
     _table: Dict[str, "Symbol"] = {}
 
     def __init__(self, name: str):
         self.name = name
+        self._hash = hash(name)
 
     def __repr__(self) -> str:
         return self.name
 
     def __hash__(self) -> int:
-        return hash(self.name)
+        return self._hash
 
     def __eq__(self, other: object) -> bool:
         # Interning makes identity equality sufficient, but structural

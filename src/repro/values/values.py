@@ -75,15 +75,41 @@ def _value_hash(v) -> int:
 
 
 class Pair:
-    """An immutable cons cell with memoized size and structural hash."""
+    """An immutable cons cell with memoized size and structural hash.
+
+    The constructor is one of the hottest allocation sites in the system
+    (every ``cons``), so the size/hash of the two common field types —
+    ints and pairs — compute inline instead of through the generic
+    helpers.
+    """
 
     __slots__ = ("car", "cdr", "size", "hash")
 
     def __init__(self, car, cdr):
         self.car = car
         self.cdr = cdr
-        self.size = 1 + _value_size(car) + _value_size(cdr)
-        self.hash = (_value_hash(car) * 1000003 ^ _value_hash(cdr)) & 0x7FFFFFFF
+        tc = type(car)
+        if tc is int:
+            sc = car if car >= 0 else -car
+            hc = hash(car)
+        elif tc is Pair:
+            sc = car.size
+            hc = car.hash
+        else:
+            sc = _value_size(car)
+            hc = _value_hash(car)
+        td = type(cdr)
+        if td is Pair:
+            sd = cdr.size
+            hd = cdr.hash
+        elif td is int:
+            sd = cdr if cdr >= 0 else -cdr
+            hd = hash(cdr)
+        else:
+            sd = _value_size(cdr)
+            hd = _value_hash(cdr)
+        self.size = 1 + sc + sd
+        self.hash = (hc * 1000003 ^ hd) & 0x7FFFFFFF
 
     def __repr__(self) -> str:
         return write_value(self)
@@ -94,8 +120,15 @@ def cons(car, cdr) -> Pair:
 
 
 class Closure:
-    """A closure ``(x⃗, e, ρ)``.  ``lam`` is the source λ node (its ``label``
-    identifies the syntactic λ form for hashing and loop-entry analysis)."""
+    """A closure ``(x⃗, e, ρ)``.  ``lam`` is the λ node — a source
+    :class:`repro.lang.ast.Lam` under the tree machine or a compiled
+    :class:`repro.lang.resolve.CLam` under the compiled machine (both carry
+    ``label``, ``params``, ``name``, ``loc``); ``env`` is correspondingly a
+    dict-rib :class:`~repro.values.env.Env` chain or a list frame.
+
+    Closures hash and compare by identity (Python's defaults), which is
+    what lets the compiled machine's fast path key size-change tables by
+    the closure object directly — identity keying with no key wrapper."""
 
     __slots__ = ("lam", "env", "name")
 
@@ -117,9 +150,15 @@ class Closure:
 
 class Prim:
     """A primitive operation.  All primitives are total on their domain
-    (no primitive may diverge — paper §3.1), so they are never monitored."""
+    (no primitive may diverge — paper §3.1), so they are never monitored.
 
-    __slots__ = ("name", "fn", "arity_min", "arity_max")
+    ``pure`` marks primitives whose application is observably effect-free
+    (everything except output and mutation: ``display``/``write``/
+    ``newline``/``set-box!``).  The compiled machine only executes pure
+    primitives speculatively — an aborted inline attempt may re-evaluate
+    its subexpressions, which must not duplicate effects."""
+
+    __slots__ = ("name", "fn", "arity_min", "arity_max", "pure")
 
     _SAME = object()
 
@@ -129,12 +168,14 @@ class Prim:
         fn: Callable,
         arity_min: int,
         arity_max=_SAME,
+        pure: bool = True,
     ):
         self.name = name
         self.fn = fn
         self.arity_min = arity_min
         # ``arity_max=None`` means variadic; omitted means exactly arity_min.
         self.arity_max = arity_min if arity_max is Prim._SAME else arity_max
+        self.pure = pure
 
     def accepts(self, n: int) -> bool:
         if n < self.arity_min:

@@ -1,0 +1,395 @@
+"""Differential suite: the compiled machine vs the tree machine.
+
+The compiled machine (lexical-addressing pass + slot frames + monitor
+fast path) must be *observably identical* to the tree machine: same
+answer kind, same printed value, same output, same violation witness —
+across every corpus program (Table 1, extras, conservative rejections,
+diverging) under all three monitoring set-ups (none / cm / imperative),
+plus resolver unit tests for the lexical addressing itself.
+"""
+
+import pytest
+
+from repro.corpus import all_programs, diverging_programs
+from repro.corpus.registry import CONSERVATIVE, EXTRAS
+from repro.eval.machine import Answer, make_env, run_source
+from repro.lang.parser import parse_program
+from repro.lang.resolve import resolve
+from repro.sct.monitor import SCMonitor
+from repro.values.values import write_value
+
+PROGRAMS = all_programs()
+EXTRA_PROGRAMS = list(EXTRAS.values()) + list(CONSERVATIVE.values())
+DIVERGING = diverging_programs()
+
+# (suite name, mode, strategy) — the "three strategies" of the issue.
+SETUPS = [
+    ("none", "off", "cm"),
+    ("cm", "full", "cm"),
+    ("imperative", "full", "imperative"),
+]
+
+MAX_STEPS = 30_000_000
+
+
+def run_both(source, *, mode, strategy, measures=None, max_steps=MAX_STEPS):
+    answers = {}
+    for machine in ("tree", "compiled"):
+        monitor = SCMonitor(measures=measures)
+        answers[machine] = run_source(
+            source, mode=mode, strategy=strategy, monitor=monitor,
+            max_steps=max_steps, machine=machine,
+        )
+    return answers["tree"], answers["compiled"]
+
+
+def assert_same_answer(tree, compiled):
+    assert compiled.kind == tree.kind, (
+        f"kind mismatch: tree={tree!r} compiled={compiled!r}")
+    assert compiled.output == tree.output
+    if tree.kind == Answer.VALUE:
+        assert write_value(compiled.value) == write_value(tree.value)
+    if tree.kind == Answer.SC_ERROR:
+        tv, cv = tree.violation, compiled.violation
+        assert cv.function == tv.function
+        assert cv.blame == tv.blame
+        assert [write_value(a) for a in cv.prev_args] == \
+            [write_value(a) for a in tv.prev_args]
+        assert [write_value(a) for a in cv.new_args] == \
+            [write_value(a) for a in tv.new_args]
+        assert cv.composition == tv.composition
+    if tree.kind == Answer.RT_ERROR:
+        assert str(compiled.error) == str(tree.error)
+
+
+@pytest.mark.parametrize("suite,mode,strategy", SETUPS,
+                         ids=[s[0] for s in SETUPS])
+@pytest.mark.parametrize("prog", PROGRAMS, ids=[p.name for p in PROGRAMS])
+class TestCorpusDifferential:
+    def test_identical_answers(self, prog, suite, mode, strategy):
+        if prog.name == "scheme" and strategy == "imperative":
+            pytest.skip("cm-only for the interpreter benchmark (slow)")
+        tree, compiled = run_both(prog.source, mode=mode, strategy=strategy,
+                                  measures=prog.measures)
+        assert tree.kind == Answer.VALUE
+        assert_same_answer(tree, compiled)
+
+
+@pytest.mark.parametrize("prog", EXTRA_PROGRAMS,
+                         ids=[p.name for p in EXTRA_PROGRAMS])
+def test_extras_differential_cm(prog):
+    tree, compiled = run_both(prog.source, mode="full", strategy="cm",
+                              measures=prog.measures)
+    assert_same_answer(tree, compiled)
+
+
+@pytest.mark.parametrize("prog", DIVERGING, ids=[d.name for d in DIVERGING])
+class TestDivergingDifferential:
+    def test_identical_violation_cm(self, prog):
+        tree, compiled = run_both(prog.source, mode="full", strategy="cm",
+                                  measures=prog.measures,
+                                  max_steps=3_000_000)
+        assert tree.kind == Answer.SC_ERROR
+        assert_same_answer(tree, compiled)
+
+    def test_identical_violation_imperative(self, prog):
+        tree, compiled = run_both(prog.source, mode="full",
+                                  strategy="imperative",
+                                  measures=prog.measures,
+                                  max_steps=3_000_000)
+        assert tree.kind == Answer.SC_ERROR
+        assert_same_answer(tree, compiled)
+
+
+class TestStepParity:
+    """The compiled machine charges fuel per dispatch plus per applied
+    argument, so its step count is bounded by the tree machine's."""
+
+    @pytest.mark.parametrize("prog", PROGRAMS[:8],
+                             ids=[p.name for p in PROGRAMS[:8]])
+    def test_compiled_steps_bounded_by_tree(self, prog):
+        tree, compiled = run_both(prog.source, mode="full", strategy="cm",
+                                  measures=prog.measures)
+        assert tree.kind == Answer.VALUE
+        assert compiled.steps <= tree.steps + 4
+
+
+class TestResolverAddressing:
+    """Unit tests for the lexical-addressing pass itself."""
+
+    def ev(self, src, **kw):
+        a = run_source(src, machine="compiled", **kw)
+        assert a.kind == Answer.VALUE, repr(a)
+        return a.value
+
+    def test_shadowing_inner_wins(self):
+        assert self.ev("(define x 1) (let ([x 2]) (let ([x 3]) x))") == 3
+
+    def test_duplicate_names_in_one_rib(self):
+        # Racket-style lambda lists reject duplicates in the parser, but
+        # nested lets exercise rib search order.
+        assert self.ev("(let ([a 1] [b 2]) (let ([a b] [b a]) (- a b)))") == 1
+
+    def test_set_through_captured_frame(self):
+        src = """
+        (define (make-counter)
+          (let ([n 0])
+            (lambda () (set! n (+ n 1)) n)))
+        (define c (make-counter))
+        (c) (c) (c)
+        """
+        assert self.ev(src) == 3
+
+    def test_letrec_use_before_init_is_error(self):
+        a = run_source("(letrec ([x y] [y 1]) x)", machine="compiled")
+        assert a.kind == Answer.RT_ERROR
+        assert "used before initialization" in str(a.error)
+
+    def test_deep_nesting_addresses(self):
+        src = """
+        (define (f a)
+          (lambda (b)
+            (lambda (c)
+              (let ([d (+ a b)])
+                (+ (+ a b) (+ c d))))))
+        (((f 1) 2) 3)
+        """
+        assert self.ev(src) == 9
+
+    def test_free_slot_metadata(self):
+        from repro.lang.resolve import CLam, T_LAM
+
+        program = parse_program("(lambda (x) (lambda (y) (+ x y)))")
+        code = resolve(program.forms[0].expr)
+        assert isinstance(code, CLam)
+        assert code.free == ()  # outer λ closes over nothing
+        inner = code.body
+        assert inner.tag == T_LAM
+        # y is its parameter; x is free at (depth 0, slot 1) of the
+        # captured frame (the outer λ's frame).
+        assert inner.free == ((0, 1),)
+
+    def test_lam_metadata(self):
+        program = parse_program("(lambda (a b c) a)")
+        code = resolve(program.forms[0].expr)
+        assert code.nparams == 3
+        assert code.frame_size == 4
+
+    def test_tail_call_depth_is_constant(self):
+        src = ("(define (loop n) (if (= n 0) 'done (loop (- n 1))))"
+               " (loop 300000)")
+        a = run_source(src, machine="compiled")
+        assert a.kind == Answer.VALUE
+
+    def test_machine_argument_validated(self):
+        with pytest.raises(ValueError, match="unknown machine"):
+            run_source("1", machine="bytecode")
+
+
+class TestEnvFlavorGuard:
+    def test_env_flavor_mismatch_raises(self):
+        env = make_env(machine="tree")
+        with pytest.raises(ValueError, match="tree"):
+            run_source("1", env=env, machine="compiled")
+
+    def test_env_flavor_match_ok(self):
+        env = make_env(machine="compiled")
+        a = run_source("(+ 1 2)", env=env, machine="compiled")
+        assert a.value == 3
+
+
+class TestSetUnboundGlobalRegression:
+    """set! on an unbound global is UnboundVariable (never a bare
+    KeyError), on both machines and under both strategies."""
+
+    @pytest.mark.parametrize("machine", ["tree", "compiled"])
+    @pytest.mark.parametrize("strategy", ["cm", "imperative"])
+    def test_toplevel_set_unbound(self, machine, strategy):
+        a = run_source("(set! nope 1)", machine=machine, strategy=strategy)
+        assert a.kind == Answer.RT_ERROR
+        assert "unbound variable: nope" in str(a.error)
+
+    @pytest.mark.parametrize("machine", ["tree", "compiled"])
+    def test_set_unbound_inside_lambda(self, machine):
+        a = run_source("((lambda (x) (set! nope x)) 1)", machine=machine)
+        assert a.kind == Answer.RT_ERROR
+        assert "unbound variable: nope" in str(a.error)
+
+    @pytest.mark.parametrize("machine", ["tree", "compiled"])
+    def test_set_unbound_complex_rhs(self, machine):
+        a = run_source("(set! nope (+ 1 2))", machine=machine)
+        assert a.kind == Answer.RT_ERROR
+        assert "unbound variable: nope" in str(a.error)
+
+    def test_global_env_set_raises_unbound(self):
+        from repro.sexp.datum import intern
+        from repro.values.env import GlobalEnv, UnboundVariable
+
+        env = GlobalEnv()
+        with pytest.raises(UnboundVariable):
+            env.set(intern("ghost"), 1)
+
+
+class TestAdvanceFastAlgebra:
+    """`advance_fast` (inlined arity-1/2 compose+desc, memoized sizes,
+    int-keyed caches) must track the generic `advance` entry-for-entry:
+    same check_args, same composition sets, same violations at the same
+    calls — across arities, ties, pairs, floats, and shared objects."""
+
+    def _sequences(self):
+        from repro.values.values import Pair
+
+        shared = Pair(1, Pair(2, 3))
+        yield "m1-desc", [(8,), (5,), (3,), (2,), (1,)]
+        yield "m1-tie", [(4,), (4,), (3,), (3,)]
+        yield "m1-grow", [(2,), (5,), (9,)]
+        yield "m2-swap", [(5, 3), (3, 5), (5, 3), (2, 5)]
+        yield "m2-shared", [(shared, 1), (shared, 0), (shared, 0)]
+        yield "m2-float", [(1.5, 4), (1.5, 3), (1.5, 2), (1.5, 2)]
+        yield "m3-perm", [(9, 7, 5), (7, 5, 9), (5, 9, 7), (4, 8, 6),
+                          (8, 6, 4)]
+        yield "m3-mixed", [(Pair(1, 2), 10, "abc"), (Pair(1, 2), 9, "ab"),
+                           (2, 9, "ab"), (1, 8, "a")]
+
+    def _drive(self, seq, advance_name):
+        from repro.lang.ast import Lam, Lit
+        from repro.sexp.datum import intern
+        from repro.values.env import GlobalEnv
+        from repro.values.values import Closure
+
+        monitor = SCMonitor(enforce=False)
+        params = tuple(intern(f"p{i}") for i in range(len(seq[0])))
+        clo = Closure(Lam(params, Lit(1), name="probe"), GlobalEnv())
+        entry = monitor.initial_entry(clo, seq[0])
+        step = getattr(monitor, advance_name)
+        entries = [entry]
+        for args in seq[1:]:
+            entry = step(entry, clo, args, None)
+            entries.append(entry)
+        return monitor, entries
+
+    def test_fast_tracks_generic(self):
+        for name, seq in self._sequences():
+            mon_f, ent_f = self._drive(seq, "advance_fast")
+            mon_g, ent_g = self._drive(seq, "advance")
+            for i, (ef, eg) in enumerate(zip(ent_f, ent_g)):
+                ctx = f"{name} call {i}"
+                assert ef.check_args == eg.check_args, ctx
+                assert set(ef.comps) == set(eg.comps), ctx
+                assert ef.count == eg.count, ctx
+                assert ef.next_check == eg.next_check, ctx
+            assert len(mon_f.violations) == len(mon_g.violations), name
+            for vf, vg in zip(mon_f.violations, mon_g.violations):
+                assert vf.composition == vg.composition, name
+                assert vf.call_count == vg.call_count, name
+
+    def test_fast_tracks_generic_random(self):
+        import random
+
+        rng = random.Random(20260729)
+        for trial in range(40):
+            m = rng.choice([1, 1, 2, 2, 3, 4])
+            seq = [tuple(rng.randrange(6) for _ in range(m))
+                   for _ in range(rng.randrange(2, 9))]
+            mon_f, ent_f = self._drive(seq, "advance_fast")
+            mon_g, ent_g = self._drive(seq, "advance")
+            assert set(ent_f[-1].comps) == set(ent_g[-1].comps), (trial, seq)
+            assert [v.composition for v in mon_f.violations] == \
+                [v.composition for v in mon_g.violations], (trial, seq)
+
+
+class TestMonitorFastPathEquivalence:
+    """Policy knobs that disqualify the inline fast path must still agree
+    between machines (they take the generic monitor path)."""
+
+    SRC = """
+    (define (dec n) (if (= n 0) 'done (dec (- n 1))))
+    (dec 30)
+    """
+
+    def test_label_keying(self):
+        answers = {}
+        for machine in ("tree", "compiled"):
+            mon = SCMonitor(keying="label")
+            answers[machine] = run_source(self.SRC, mode="full",
+                                          monitor=mon, machine=machine)
+        assert answers["tree"].kind == answers["compiled"].kind == \
+            Answer.VALUE
+
+    def test_label_keying_partitions_match(self):
+        """Label keying must alias closures identically on both machines:
+        the captured-rib hash covers the whole immediate rib, including
+        bindings the closure never reads (here ``junk``, which keeps the
+        per-call closures distinct and the run violation-free)."""
+        src = """
+        (define (mk junk)
+          (lambda (x)
+            (if (< x 2) 'done
+                ((mk x) (if (even? x) (- x 13) (+ x 11))))))
+        ((mk 0) 20)
+        """
+        answers = {}
+        for machine in ("tree", "compiled"):
+            mon = SCMonitor(keying="label")
+            answers[machine] = run_source(src, mode="full", monitor=mon,
+                                          machine=machine, max_steps=200_000)
+        assert answers["tree"].kind == answers["compiled"].kind, answers
+
+    def test_label_keying_empty_let_rib(self):
+        """λs created under an empty ``let`` rib hash an empty rib on both
+        machines (the compiled machine keeps a frame even for zero
+        binders, mirroring the tree machine's empty Env)."""
+        src = """
+        (define (spin n f)
+          (if (= n 0) 'done
+              (spin (- n 1) (let () (lambda (y) y)))))
+        (spin 10 (let () (lambda (y) y)))
+        """
+        answers = {}
+        for machine in ("tree", "compiled"):
+            mon = SCMonitor(keying="label")
+            answers[machine] = run_source(src, mode="full", monitor=mon,
+                                          machine=machine, max_steps=200_000)
+        assert answers["tree"].kind == answers["compiled"].kind, answers
+
+    def test_backoff(self):
+        checks = {}
+        for machine in ("tree", "compiled"):
+            mon = SCMonitor(backoff=True)
+            a = run_source(self.SRC, mode="full", monitor=mon,
+                           machine=machine)
+            assert a.kind == Answer.VALUE
+            checks[machine] = (mon.calls_seen, mon.checks_done)
+        assert checks["tree"] == checks["compiled"]
+
+    def test_whitelist_skips_monitoring(self):
+        for machine in ("tree", "compiled"):
+            mon = SCMonitor(whitelist={"dec"})
+            a = run_source(self.SRC, mode="full", monitor=mon,
+                           machine=machine)
+            assert a.kind == Answer.VALUE
+            assert mon.calls_seen == 0
+
+    def test_calls_seen_parity(self):
+        seen = {}
+        for machine in ("tree", "compiled"):
+            mon = SCMonitor()
+            a = run_source(self.SRC, mode="full", monitor=mon,
+                           machine=machine)
+            assert a.kind == Answer.VALUE
+            seen[machine] = (mon.calls_seen, mon.checks_done)
+        assert seen["tree"] == seen["compiled"]
+
+    def test_events_stream_parity(self):
+        streams = {}
+        for machine in ("tree", "compiled"):
+            events = []
+            mon = SCMonitor(events=events)
+            a = run_source(self.SRC, mode="full", strategy="imperative",
+                           monitor=mon, machine=machine)
+            assert a.kind == Answer.VALUE
+            streams[machine] = [
+                (e[0], e[1], e[2]) if e[0] == "call" else e
+                for e in events
+            ]
+        assert streams["tree"] == streams["compiled"]
