@@ -1,7 +1,8 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test bench bench-quick bench-interp bench-interp-smoke docs
+.PHONY: test bench bench-quick bench-interp bench-interp-smoke \
+	bench-residual bench-residual-smoke docs
 
 # Tier-1 verification: the full claim-backing test suite.
 test:
@@ -22,6 +23,14 @@ bench-interp:
 # The CI smoke variant of the same report.
 bench-interp-smoke:
 	$(PYTHON) -m repro bench interp --smoke
+
+# The residual-enforcement report (writes BENCH_residual.json).
+bench-residual:
+	$(PYTHON) -m repro bench residual --scale quick
+
+# The CI smoke variant of the same report.
+bench-residual-smoke:
+	$(PYTHON) -m repro bench residual --smoke
 
 # The documentation set worth (re)reading, in order.
 docs:

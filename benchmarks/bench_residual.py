@@ -1,0 +1,64 @@
+"""pytest-benchmark cells: residual enforcement vs full monitoring.
+
+Machine-readable twins of ``python -m repro bench residual`` — one
+benchmark per (program, suite) on the compiled machine over the smoke
+subset of the discharged corpus, so CI tracks the absolute times (the
+full report tracks the ratios and the acceptance geomeans).
+
+Run with::
+
+    pytest benchmarks/bench_residual.py --benchmark-only
+"""
+
+import pytest
+
+from repro.analysis.discharge import discharge_for_run
+from repro.bench.interp import amplify_program
+from repro.bench.residual import SMOKE_PROGRAMS
+from repro.corpus import get_program
+from repro.eval.machine import Answer, make_env, run_program
+from repro.sct.monitor import SCMonitor
+
+AMPLIFY = 20
+
+_ENV = None
+_POLICIES = {}
+
+
+def _env():
+    global _ENV
+    if _ENV is None:
+        _ENV = make_env(machine="compiled")
+    return _ENV
+
+
+def _policy(name, parsed, prog):
+    if name not in _POLICIES:
+        result = discharge_for_run(parsed, text=prog.source,
+                                   result_kinds=prog.result_kinds)
+        assert result.complete and result.policy, \
+            f"{name} no longer discharges: {result.reasons}"
+        _POLICIES[name] = result.policy
+    return _POLICIES[name]
+
+
+def _run(program, prog, mode, policy):
+    answer = run_program(
+        program, mode=mode, strategy="cm",
+        monitor=SCMonitor(measures=prog.measures),
+        env=_env(), machine="compiled", discharge=policy,
+    )
+    assert answer.kind == Answer.VALUE, repr(answer)
+    return answer
+
+
+@pytest.mark.parametrize("suite", ["unmonitored", "monitored", "discharged"])
+@pytest.mark.parametrize("name", SMOKE_PROGRAMS)
+def test_residual(benchmark, parsed, name, suite):
+    prog = get_program(name)
+    tree = parsed(prog.source)
+    program = amplify_program(tree, AMPLIFY)
+    mode = "off" if suite == "unmonitored" else "full"
+    policy = _policy(name, tree, prog) if suite == "discharged" else None
+    benchmark.group = f"residual:{name}"
+    benchmark(_run, program, prog, mode, policy)

@@ -3,6 +3,18 @@ baseline of §2.1/§2.2."""
 
 from repro.analysis.ljb import SCPResult, scp_check
 from repro.analysis.callgraph import CallGraph, analyze_callgraph, loop_entry_labels
+from repro.analysis.discharge import (
+    MONITOR,
+    SKIP,
+    DischargeCertificate,
+    DischargeResult,
+    ResidualPolicy,
+    VerificationCache,
+    certificate_from_engine,
+    default_cache,
+    discharge_for_run,
+    residual_policy,
+)
 from repro.analysis.static_sct import StaticSCTResult, static_sct_check
 
 __all__ = [
@@ -13,4 +25,14 @@ __all__ = [
     "loop_entry_labels",
     "StaticSCTResult",
     "static_sct_check",
+    "MONITOR",
+    "SKIP",
+    "DischargeCertificate",
+    "DischargeResult",
+    "ResidualPolicy",
+    "VerificationCache",
+    "certificate_from_engine",
+    "default_cache",
+    "discharge_for_run",
+    "residual_policy",
 ]

@@ -16,7 +16,11 @@
 * :mod:`repro.bench.interp` — the compiled machine (lexical addressing +
   slot frames + monitor fast path) vs the tree machine over the corpus
   (the perf trajectory of the evaluation hot loop; emits
-  ``BENCH_interp.json``).
+  ``BENCH_interp.json``),
+* :mod:`repro.bench.residual` — the discharge pipeline: statically
+  verified corpus programs running monitor-free under a residual policy
+  vs full monitoring vs the unmonitored floor (emits
+  ``BENCH_residual.json``).
 """
 
 from repro.bench.compose_bench import run_compose, render_compose
@@ -24,6 +28,11 @@ from repro.bench.interp import (
     render_interp,
     run_interp,
     write_interp_json,
+)
+from repro.bench.residual import (
+    render_residual,
+    run_residual,
+    write_residual_json,
 )
 from repro.bench.table1 import run_table1, render_table1
 from repro.bench.fig10 import run_fig10, render_fig10
@@ -43,4 +52,5 @@ __all__ = [
     "run_mc_static", "run_mc_dynamic", "render_mc",
     "run_compose", "render_compose",
     "run_interp", "render_interp", "write_interp_json",
+    "run_residual", "render_residual", "write_residual_json",
 ]

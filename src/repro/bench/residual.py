@@ -1,0 +1,247 @@
+"""Benchmark: residual enforcement (``bench residual``).
+
+The discharge pipeline's payoff, measured: on the corpus subset the §4
+verifier fully discharges, a monitored (λSCT, cm-strategy) run under the
+residual policy should cost ~nothing over the unmonitored machine, while
+full monitoring pays its usual multiple.  Three suites per program, all
+on the compiled machine:
+
+* ``unmonitored`` — mode ``off`` (the floor),
+* ``monitored`` — mode ``full``, every call through the monitor,
+* ``discharged`` — mode ``full`` under the program's
+  :class:`~repro.analysis.discharge.ResidualPolicy`: statically proven λs
+  take the monitor-free path, residual checks remain for anything else
+  (on this subset: nothing).
+
+Methodology follows ``bench interp``: Table 1 workloads amplified to a
+per-cell time target (calibrated once, on the unmonitored machine),
+best-of-``repeats`` with the three suites interleaved rep by rep and the
+host GC disabled during measurement.  Policies and certificates are
+computed (and cached) before the clock starts — the verification cost is
+exactly what the cache amortizes away, and ``verify_s`` reports it per
+program for the one cold run.
+
+Acceptance (tracked in ``BENCH_residual.json``): **discharged geomean
+runtime ≤ 1.15× unmonitored**, against ≥ 2× for full monitoring.
+"""
+
+from __future__ import annotations
+
+import gc
+import json
+import platform
+import time
+from typing import Dict, List, Optional, Sequence
+
+from repro.analysis.discharge import VerificationCache, discharge_for_run
+from repro.bench.interp import _SCALES, amplify_program, geomean
+from repro.bench.report import fmt_factor, fmt_ms, render_table
+from repro.corpus import all_programs
+from repro.eval.machine import Answer, make_env, run_program
+from repro.lang.parser import parse_program
+from repro.sct.monitor import SCMonitor
+
+#: suite name -> (mode, with policy?)
+SUITES = ("unmonitored", "monitored", "discharged")
+
+#: The CI smoke subset: plain descent, the nested-call running example,
+#: an accumulator loop, and the dispatch-heavy NFA.
+SMOKE_PROGRAMS = ("sct-1", "sct-3", "lh-tfact", "nfa")
+
+ACCEPTANCE_DISCHARGED = 1.15
+ACCEPTANCE_MONITORED = 2.0
+
+
+class ResidualCell:
+    """One program's three-suite timing plus its discharge facts."""
+
+    __slots__ = ("program", "amplify", "unmonitored_s", "monitored_s",
+                 "discharged_s", "verify_s", "skipped_labels")
+
+    def __init__(self, program: str, amplify: int, unmonitored_s: float,
+                 monitored_s: float, discharged_s: float, verify_s: float,
+                 skipped_labels: int):
+        self.program = program
+        self.amplify = amplify
+        self.unmonitored_s = unmonitored_s
+        self.monitored_s = monitored_s
+        self.discharged_s = discharged_s
+        self.verify_s = verify_s
+        self.skipped_labels = skipped_labels
+
+    @property
+    def monitored_ratio(self) -> float:
+        return (self.monitored_s / self.unmonitored_s
+                if self.unmonitored_s else 0.0)
+
+    @property
+    def discharged_ratio(self) -> float:
+        return (self.discharged_s / self.unmonitored_s
+                if self.unmonitored_s else 0.0)
+
+    def __repr__(self) -> str:
+        return (f"ResidualCell({self.program}: monitored "
+                f"{self.monitored_ratio:.2f}x, discharged "
+                f"{self.discharged_ratio:.2f}x)")
+
+
+def discharged_subset(programs=None) -> List[tuple]:
+    """``(corpus program, parsed, DischargeResult)`` for every corpus
+    program whose workload fully discharges (the verified cm-subset)."""
+    subset = []
+    for prog in (programs if programs is not None else all_programs()):
+        parsed = parse_program(prog.source)
+        result = discharge_for_run(parsed, text=prog.source,
+                                   result_kinds=prog.result_kinds)
+        if result.complete and result.policy:
+            subset.append((prog, parsed, result))
+    return subset
+
+
+def run_residual(scale: str = "quick", repeats: Optional[int] = None,
+                 programs: Optional[Sequence[str]] = None
+                 ) -> List[ResidualCell]:
+    """Time every discharged-subset program across the three suites."""
+    if scale not in _SCALES:
+        raise ValueError(f"unknown scale: {scale!r}")
+    target, default_repeats, max_amplify = _SCALES[scale]
+    if repeats is None:
+        repeats = default_repeats
+    corpus = all_programs()
+    if scale == "smoke" and programs is None:
+        programs = SMOKE_PROGRAMS
+    if programs is not None:
+        wanted = set(programs)
+        corpus = [p for p in corpus if p.name in wanted]
+
+    env = make_env(machine="compiled")
+    cells: List[ResidualCell] = []
+    for prog, parsed, result in discharged_subset(corpus):
+        # One cold verification, timed for the report against an empty
+        # cache (discharged_subset's own run warmed the default cache, so
+        # nothing else in this function pays for verification).
+        t0 = time.perf_counter()
+        discharge_for_run(parse_program(prog.source), text=prog.source,
+                          result_kinds=prog.result_kinds,
+                          cache=VerificationCache())
+        verify_s = time.perf_counter() - t0
+
+        t0 = time.perf_counter()
+        answer = run_program(parsed, mode="off", env=env, machine="compiled")
+        if answer.kind != Answer.VALUE:
+            raise RuntimeError(f"{prog.name}: calibration failed: {answer!r}")
+        dt = time.perf_counter() - t0
+        factor = max(1, min(max_amplify, int(target / max(dt, 1e-6))))
+        amplified = amplify_program(parsed, factor)
+
+        best = {suite: float("inf") for suite in SUITES}
+        gc_was_enabled = gc.isenabled()
+        gc.disable()
+        try:
+            for _ in range(repeats):
+                for suite in SUITES:
+                    mode = "off" if suite == "unmonitored" else "full"
+                    policy = (result.policy if suite == "discharged"
+                              else None)
+                    monitor = SCMonitor(measures=prog.measures)
+                    t0 = time.perf_counter()
+                    answer = run_program(
+                        amplified, mode=mode, strategy="cm",
+                        monitor=monitor, env=env, machine="compiled",
+                        discharge=policy,
+                    )
+                    dt = time.perf_counter() - t0
+                    if answer.kind != Answer.VALUE:
+                        raise RuntimeError(
+                            f"{prog.name} [{suite}] failed: {answer!r}")
+                    if suite == "discharged" and monitor.calls_seen:
+                        raise RuntimeError(
+                            f"{prog.name}: discharged run still monitored "
+                            f"{monitor.calls_seen} calls")
+                    best[suite] = min(best[suite], dt)
+        finally:
+            if gc_was_enabled:
+                gc.enable()
+                gc.collect()
+        cells.append(ResidualCell(
+            prog.name, factor, best["unmonitored"], best["monitored"],
+            best["discharged"], verify_s,
+            len(result.policy.skip_labels)))
+    return cells
+
+
+def residual_geomeans(cells: Sequence[ResidualCell]) -> Dict[str, float]:
+    return {
+        "monitored": geomean([c.monitored_ratio for c in cells]),
+        "discharged": geomean([c.discharged_ratio for c in cells]),
+    }
+
+
+def render_residual(cells: Sequence[ResidualCell]) -> str:
+    headers = ["Program", "amplify", "λs skipped", "verify", "unmon.",
+               "monitored", "discharged", "mon/unm", "dis/unm"]
+    body = [[c.program, f"×{c.amplify}", str(c.skipped_labels),
+             fmt_ms(c.verify_s), fmt_ms(c.unmonitored_s),
+             fmt_ms(c.monitored_s), fmt_ms(c.discharged_s),
+             fmt_factor(c.monitored_ratio), fmt_factor(c.discharged_ratio)]
+            for c in cells]
+    table = render_table(
+        headers, body,
+        title="Residual enforcement: discharged vs full monitoring "
+              "(compiled machine, cm strategy)")
+    means = residual_geomeans(cells)
+    lines = [table, ""]
+    lines.append(f"monitored    geomean {means['monitored']:.2f}x "
+                 f"the unmonitored machine (target >= "
+                 f"{ACCEPTANCE_MONITORED:.0f}x to matter)")
+    lines.append(f"discharged   geomean {means['discharged']:.2f}x "
+                 f"(acceptance <= {ACCEPTANCE_DISCHARGED:.2f}x)")
+    ok = (means["discharged"] <= ACCEPTANCE_DISCHARGED
+          and means["monitored"] >= ACCEPTANCE_MONITORED)
+    lines.append(f"\nacceptance: {'PASS' if ok else 'MISS'}")
+    return "\n".join(lines)
+
+
+def residual_report(cells: Sequence[ResidualCell], scale: str,
+                    repeats: Optional[int] = None) -> dict:
+    """The machine-readable report (``BENCH_residual.json``)."""
+    if repeats is None and scale in _SCALES:
+        repeats = _SCALES[scale][1]
+    means = residual_geomeans(cells)
+    return {
+        "schema": "bench-residual/v1",
+        "scale": scale,
+        "repeats": repeats,
+        "python": platform.python_version(),
+        "implementation": platform.python_implementation(),
+        "cells": [
+            {
+                "program": c.program,
+                "amplify": c.amplify,
+                "skipped_labels": c.skipped_labels,
+                "verify_s": c.verify_s,
+                "unmonitored_s": c.unmonitored_s,
+                "monitored_s": c.monitored_s,
+                "discharged_s": c.discharged_s,
+                "monitored_ratio": c.monitored_ratio,
+                "discharged_ratio": c.discharged_ratio,
+            }
+            for c in cells
+        ],
+        "geomeans": means,
+        "acceptance": {
+            "discharged_ratio": means["discharged"],
+            "discharged_target": ACCEPTANCE_DISCHARGED,
+            "monitored_ratio": means["monitored"],
+            "monitored_target": ACCEPTANCE_MONITORED,
+            "pass": (means["discharged"] <= ACCEPTANCE_DISCHARGED
+                     and means["monitored"] >= ACCEPTANCE_MONITORED),
+        },
+    }
+
+
+def write_residual_json(cells: Sequence[ResidualCell], path: str,
+                        scale: str, repeats: Optional[int] = None) -> None:
+    with open(path, "w") as f:
+        json.dump(residual_report(cells, scale, repeats), f, indent=2)
+        f.write("\n")

@@ -5,17 +5,27 @@ Subcommands::
     sized run FILE [--mode off|contract|full] [--strategy cm|imperative]
                    [--machine compiled|tree] [--backoff] [--mc]
                    [--engine bitmask|reference] [--max-steps N]
+                   [--discharge off|try|require] [--discharge-cache DIR]
+                   [--result-kind NAME=KIND ...]
     sized verify FILE --entry NAME [--kinds nat,nat] [--result-kind nat]
-                      [--mc]
+                      [--mc] [--engine bitmask|reference] [--json]
     sized trace FILE [--mode full|contract] [--machine compiled|tree]
                      [--mc] [--max-steps N] [--max-depth N] [--max-nodes N]
-    sized bench table1|fig10|divergence|ablation|mc|compose|interp
+    sized bench table1|fig10|divergence|ablation|mc|compose|interp|residual
                 [--scale quick|full] [--smoke] [--out PATH]
     sized corpus [--diverging]
 
 ``--mc`` switches the evidence from size-change graphs to monotonicity-
 constraint graphs (the paper's §6.2 future-work extension): counting-up-
 to-a-ceiling loops pass without custom measures.
+
+``--discharge`` stages the §4 verifier in front of the §5 monitor (the
+residual-enforcement pipeline, :mod:`repro.analysis.discharge`): the
+workload's entries are inferred from the top-level calls, verified (with
+an in-memory — or, via ``--discharge-cache``, on-disk — certificate
+cache), and every proven λ runs monitor-free.  ``try`` keeps residual
+checks on whatever could not be proven; ``require`` exits with status 5
+instead of running partially monitored.
 
 ``--engine`` selects the size-change graph representation the monitor
 composes: ``bitmask`` (default, two machine ints per graph) or
@@ -35,7 +45,7 @@ import argparse
 import sys
 from typing import List, Optional
 
-from repro.eval.machine import Answer, run_source
+from repro.eval.machine import Answer, run_program, run_source
 from repro.sct.monitor import SCMonitor
 from repro.values.values import write_value
 
@@ -63,6 +73,18 @@ def main(argv: Optional[List[str]] = None) -> int:
                        help="evaluator: lexically-addressed slot-frame "
                             "machine (default) or the tree walker")
     p_run.add_argument("--max-steps", type=int, default=None)
+    p_run.add_argument("--discharge", choices=["off", "try", "require"],
+                       default="off",
+                       help="statically discharge dynamic checks: 'try' "
+                            "keeps residual monitoring, 'require' refuses "
+                            "to run partially monitored (exit 5)")
+    p_run.add_argument("--discharge-cache", default=None, metavar="DIR",
+                       help="on-disk certificate store for --discharge "
+                            "(amortizes verification across processes)")
+    p_run.add_argument("--result-kind", action="append", default=[],
+                       metavar="NAME=KIND",
+                       help="contract range of a function for --discharge "
+                            "verification (e.g. ack=nat); repeatable")
 
     p_verify = sub.add_parser("verify", help="statically verify termination")
     p_verify.add_argument("file")
@@ -73,6 +95,16 @@ def main(argv: Optional[List[str]] = None) -> int:
                           help="contract range of the entry (nat/int)")
     p_verify.add_argument("--mc", action="store_true",
                           help="verify with monotonicity constraints")
+    p_verify.add_argument("--engine", choices=["bitmask", "reference"],
+                          default="bitmask",
+                          help="phase-2 graph-closure representation "
+                               "(ignored with --mc: MC graphs are packed "
+                               "internally regardless)")
+    p_verify.add_argument("--json", action="store_true",
+                          help="machine-readable verdict on stdout "
+                               "(status, reasons, witness, discharge); "
+                               "the exit code still gates: 0 verified, "
+                               "3 unknown")
 
     p_trace = sub.add_parser(
         "trace", help="print the Fig. 1 style call/size-change tree")
@@ -91,15 +123,17 @@ def main(argv: Optional[List[str]] = None) -> int:
     p_bench = sub.add_parser("bench", help="regenerate a table or figure")
     p_bench.add_argument("which",
                          choices=["table1", "fig10", "divergence", "ablation",
-                                  "mc", "compose", "interp"])
+                                  "mc", "compose", "interp", "residual"])
     p_bench.add_argument("--scale", choices=["quick", "full"], default="quick")
     p_bench.add_argument("--repeats", type=int, default=None,
                          help="best-of repeats per cell (default: 3, or the"
                               " interp scale's own default)")
     p_bench.add_argument("--smoke", action="store_true",
-                         help="interp only: the tiny CI subset")
-    p_bench.add_argument("--out", default="BENCH_interp.json",
-                         help="interp only: where to write the JSON report")
+                         help="interp/residual: the tiny CI subset")
+    p_bench.add_argument("--out", default=None,
+                         help="interp/residual: where to write the JSON "
+                              "report (default BENCH_interp.json / "
+                              "BENCH_residual.json)")
 
     p_corpus = sub.add_parser("corpus", help="list the evaluation corpus")
     p_corpus.add_argument("--diverging", action="store_true")
@@ -126,14 +160,45 @@ def _make_monitor(mc: bool, **options):
     return SCMonitor(**options)
 
 
+def _parse_result_kinds(pairs) -> Optional[dict]:
+    result_kinds = {}
+    for pair in pairs:
+        name, sep, kind = pair.partition("=")
+        if not sep or not name or not kind:
+            raise SystemExit(f"--result-kind expects NAME=KIND, got {pair!r}")
+        result_kinds[name] = kind
+    return result_kinds or None
+
+
 def _cmd_run(args) -> int:
+    from repro.lang.parser import parse_program
+
     with open(args.file) as f:
         source = f.read()
+    program = parse_program(source, source=args.file)
     monitor = _make_monitor(args.mc, backoff=args.backoff,
                             engine=args.engine)
-    answer = run_source(source, mode=args.mode, strategy=args.strategy,
-                        monitor=monitor, max_steps=args.max_steps,
-                        source=args.file, machine=args.machine)
+    policy = None
+    if args.discharge != "off":
+        from repro.analysis.discharge import (VerificationCache,
+                                              discharge_for_run)
+
+        cache = (VerificationCache(args.discharge_cache)
+                 if args.discharge_cache else None)
+        result = discharge_for_run(
+            program, text=source, mc=args.mc,
+            result_kinds=_parse_result_kinds(args.result_kind), cache=cache)
+        if args.discharge == "require" and not result.complete:
+            print("cannot fully discharge the dynamic checks:",
+                  file=sys.stderr)
+            rendered = result.render()
+            if rendered:
+                print(rendered, file=sys.stderr)
+            return 5
+        policy = result.policy
+    answer = run_program(program, mode=args.mode, strategy=args.strategy,
+                         monitor=monitor, max_steps=args.max_steps,
+                         machine=args.machine, discharge=policy)
     if answer.output:
         sys.stdout.write(answer.output)
         if not answer.output.endswith("\n"):
@@ -152,17 +217,29 @@ def _cmd_run(args) -> int:
 
 
 def _cmd_verify(args) -> int:
-    if args.mc:
-        from repro.mc.static import verify_source_mc as verify
-    else:
-        from repro.symbolic import verify_source as verify
+    import json
 
     with open(args.file) as f:
         source = f.read()
     kinds = [k for k in args.kinds.split(",") if k]
     result_kinds = {args.entry: args.result_kind} if args.result_kind else None
-    verdict = verify(source, args.entry, kinds, result_kinds=result_kinds)
-    print(verdict.render())
+    if args.mc:
+        from repro.mc.static import verify_source_mc
+
+        verdict = verify_source_mc(source, args.entry, kinds,
+                                   result_kinds=result_kinds)
+    else:
+        from repro.symbolic import verify_source
+
+        verdict = verify_source(source, args.entry, kinds,
+                                result_kinds=result_kinds,
+                                graph_engine=args.engine)
+    if args.json:
+        print(json.dumps(verdict.to_json(entry=args.entry, kinds=kinds),
+                         indent=2))
+    else:
+        print(verdict.render())
+    # Nonzero on UNKNOWN so CI scripts can gate on the verdict.
     return 0 if verdict.verified else 3
 
 
@@ -220,10 +297,21 @@ def _cmd_bench(args) -> int:
         from repro.bench import render_interp, run_interp, write_interp_json
 
         scale = "smoke" if args.smoke else args.scale
+        out = args.out or "BENCH_interp.json"
         cells = run_interp(scale=scale, repeats=args.repeats)
         print(render_interp(cells))
-        write_interp_json(cells, args.out, scale=scale, repeats=args.repeats)
-        print(f"\nwrote {args.out}")
+        write_interp_json(cells, out, scale=scale, repeats=args.repeats)
+        print(f"\nwrote {out}")
+    elif args.which == "residual":
+        from repro.bench import (render_residual, run_residual,
+                                 write_residual_json)
+
+        scale = "smoke" if args.smoke else args.scale
+        out = args.out or "BENCH_residual.json"
+        cells = run_residual(scale=scale, repeats=args.repeats)
+        print(render_residual(cells))
+        write_residual_json(cells, out, scale=scale, repeats=args.repeats)
+        print(f"\nwrote {out}")
     else:
         from repro.bench import render_ablation, run_ablation
 

@@ -43,9 +43,9 @@ from typing import List, Optional
 
 from repro.ds.hamt import Hamt
 from repro.eval.errors import MachineTimeout, SchemeError
-from repro.lang import ast
+from repro.lang import ast, libraries
 from repro.lang.parser import parse_program
-from repro.lang.prims import PRELUDE_SOURCE, PRIMITIVES
+from repro.lang.prims import PRIMITIVES
 from repro.lang.program import Program, TopDefine
 from repro.lang.resolve import Code, resolve
 from repro.sct.errors import SizeChangeViolation
@@ -389,17 +389,28 @@ def eval_expr(
 # Resolved-code cache, weakly keyed by AST node (identity hash/eq), so
 # repeated runs of a parsed program resolve once, while dropping the
 # program frees its compiled code — a long-lived process calling
-# run_source in a loop does not accumulate entries.
-_CODE_CACHE: "weakref.WeakKeyDictionary[ast.Node, Code]" = \
+# run_source in a loop does not accumulate entries.  Each node maps to a
+# small per-policy dict: discharge marks (CLam.discharged) are baked into
+# the code, so a run under residual policy P must never see code compiled
+# for policy Q — the inner key is the policy's frozen skip-label set
+# (None for the unmarked default).
+_CODE_CACHE: "weakref.WeakKeyDictionary[ast.Node, dict]" = \
     weakref.WeakKeyDictionary()
 
 
-def compile_code(expr: ast.Node) -> Code:
-    """The lexically-addressed code for ``expr`` (cached per AST node, so
-    repeated runs of a parsed program pay for resolution once)."""
-    code = _CODE_CACHE.get(expr)
+def compile_code(expr: ast.Node, skip_labels=None) -> Code:
+    """The lexically-addressed code for ``expr`` (cached per AST node and
+    per discharge policy, so repeated runs pay for resolution once).
+
+    ``skip_labels`` — λ labels discharged by a
+    :class:`~repro.analysis.discharge.ResidualPolicy`; matching λs
+    compile with the monitor-free ``discharged`` mark."""
+    per_policy = _CODE_CACHE.get(expr)
+    if per_policy is None:
+        per_policy = _CODE_CACHE[expr] = {}
+    code = per_policy.get(skip_labels)
     if code is None:
-        code = _CODE_CACHE[expr] = resolve(expr)
+        code = per_policy[skip_labels] = resolve(expr, skip_labels)
     return code
 
 
@@ -441,7 +452,13 @@ def eval_code(
     # with the cm table held as a flat identity-scanned tuple that
     # promotes to the HAMT past _TABLE_PROMOTE slots — and `advance` is
     # the (possibly specialized) evidence step.
-    skip_should = monitor.trivial_policy()
+    # Residual enforcement: `skips` is the monitor's discharged-λ set and
+    # every compiled λ carries a `discharged` mark, so a statically proven
+    # closure takes the monitor-free path below — no policy call, no table
+    # lookup, no graph construction.  `trivial_policy` may ignore the skip
+    # set precisely because both checks happen inline here.
+    skips = monitor.skip_labels
+    skip_should = monitor.trivial_policy(ignore_skip_labels=True)
     inline_upd = monitored_modes and monitor.inline_upd_ok()
     fast_adv = inline_upd and monitor.fast_advance_ok()
     advance = monitor.advance_fast if fast_adv else monitor.advance
@@ -901,7 +918,9 @@ def eval_code(
                         loc,
                     )
                 if imperative:
-                    if s1 and (skip_should or monitor.should_monitor(fn)):
+                    if s1 and not clam.discharged and (
+                            skips is None or clam.label not in skips) and (
+                            skip_should or monitor.should_monitor(fn)):
                         if nargs == 1:
                             args = (vals[1],)
                         elif nargs == 2:
@@ -924,7 +943,9 @@ def eval_code(
                             key, prev = monitor.upd_mut(mtable, fn, args, s2)
                             kont.append([KF_RESTORE, key, prev, s1, s2])
                 elif s1 is not None:
-                    if skip_should or monitor.should_monitor(fn):
+                    if not clam.discharged and (
+                            skips is None or clam.label not in skips) and (
+                            skip_should or monitor.should_monitor(fn)):
                         if nargs == 1:
                             args = (vals[1],)
                         elif nargs == 2:
@@ -1011,25 +1032,11 @@ def eval_code(
 
 # -- whole programs ------------------------------------------------------------
 
-_PRELUDE_PROGRAM: Optional[Program] = None
-_CONTRACTS_PROGRAM: Optional[Program] = None
-
-
-def _prelude_program() -> Program:
-    global _PRELUDE_PROGRAM
-    if _PRELUDE_PROGRAM is None:
-        _PRELUDE_PROGRAM = parse_program(PRELUDE_SOURCE, source="<prelude>")
-    return _PRELUDE_PROGRAM
-
-
-def _contracts_program() -> Program:
-    global _CONTRACTS_PROGRAM
-    if _CONTRACTS_PROGRAM is None:
-        from repro.lang.contracts_lib import CONTRACTS_SOURCE
-
-        _CONTRACTS_PROGRAM = parse_program(CONTRACTS_SOURCE,
-                                           source="<contracts>")
-    return _CONTRACTS_PROGRAM
+# The prelude/contracts parses are process-shared (repro.lang.libraries)
+# so the symbolic engines see the same λ labels the evaluator's library
+# closures carry — certificates that discharge a prelude λ apply here.
+_prelude_program = libraries.prelude_program
+_contracts_program = libraries.contracts_program
 
 
 def _check_machine(machine: str) -> None:
@@ -1077,6 +1084,7 @@ def run_program(
     env: Optional[GlobalEnv] = None,
     include_prelude: bool = True,
     machine: str = "compiled",
+    discharge=None,
 ) -> Answer:
     """Run a whole program; the answer holds the last expression's value.
 
@@ -1085,6 +1093,12 @@ def run_program(
     ``'compiled'`` (lexical-addressing pass + slot-frame machine, the
     default) or ``'tree'`` (the direct AST walker) — observably
     equivalent, differentially tested, an order apart in speed.
+
+    ``discharge``: a :class:`~repro.analysis.discharge.ResidualPolicy`
+    (or any iterable of λ labels) whose discharged λs run monitor-free:
+    the compiled machine bakes the mark in at resolution time, and the
+    monitor's ``skip_labels`` (installed here — the passed monitor is
+    extended in place) covers the tree machine.
     """
     _check_machine(machine)
     if env is None:
@@ -1098,6 +1112,19 @@ def run_program(
         env = env.snapshot()
     if monitor is None:
         monitor = SCMonitor()
+    skip_labels = None
+    if discharge is not None:
+        skip_labels = getattr(discharge, "skip_labels", None)
+        if skip_labels is None:
+            skip_labels = frozenset(discharge)
+        skip_labels = frozenset(skip_labels) or None
+    # The policy is scoped to this run: the monitor's skip set is
+    # extended for the duration and restored on the way out, so a reused
+    # monitor does not leak one program's discharge into the next.
+    saved_skip_labels = monitor.skip_labels
+    if skip_labels is not None:
+        monitor.skip_labels = (skip_labels if saved_skip_labels is None
+                               else saved_skip_labels | skip_labels)
     output: List[str] = []
     env.define(intern("display"),
                Prim("display", lambda a: _display(a, output), 1, 1,
@@ -1116,7 +1143,7 @@ def run_program(
         for form in program.forms:
             if compiled:
                 value = eval_code(
-                    compile_code(form.expr), env, mode=mode,
+                    compile_code(form.expr, skip_labels), env, mode=mode,
                     strategy=strategy, monitor=monitor, fuel=fuel,
                     mtable=mtable,
                 )
@@ -1137,6 +1164,8 @@ def run_program(
         return Answer(Answer.SC_ERROR, violation=exc, output="".join(output))
     except MachineTimeout:
         return Answer(Answer.TIMEOUT, output="".join(output))
+    finally:
+        monitor.skip_labels = saved_skip_labels
     if max_steps is not None:
         steps_used = max_steps - max(fuel.left, 0)
     return Answer(Answer.VALUE, value=last, output="".join(output), steps=steps_used)
@@ -1153,13 +1182,14 @@ def run_source(
     include_prelude: bool = True,
     source: str = "<program>",
     machine: str = "compiled",
+    discharge=None,
 ) -> Answer:
     """Parse and run program text."""
     program = parse_program(text, source=source)
     return run_program(
         program, mode=mode, strategy=strategy, monitor=monitor,
         max_steps=max_steps, env=env, include_prelude=include_prelude,
-        machine=machine,
+        machine=machine, discharge=discharge,
     )
 
 

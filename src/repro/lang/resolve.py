@@ -119,16 +119,25 @@ class CLam(Code):
     runtime frame the closure captures; ``()`` at top level), which is
     what lets ``keying='label'`` hash a compiled closure's captured rib
     with exactly the tree machine's name×value formula.
+
+    ``discharged`` is the residual-enforcement mark: True when the
+    compile-time :class:`~repro.analysis.discharge.ResidualPolicy` proved
+    this λ terminating, so the machine's monitored modes take the
+    monitor-free path for its closures (no table lookup, no graph
+    construction).  Compiled code is cached per policy
+    (:func:`repro.eval.machine.compile_code`), so the mark never leaks
+    into runs with a different policy.
     """
 
     __slots__ = ("params", "nparams", "frame_size", "body", "name", "label",
-                 "loc", "free", "env_names")
+                 "loc", "free", "env_names", "discharged")
     tag = T_LAM
 
     def __init__(self, params: Tuple[Symbol, ...], body: Code,
                  name: Optional[str], label: int, loc,
                  free: Tuple[Tuple[int, int], ...],
-                 env_names: Tuple[Symbol, ...] = ()):
+                 env_names: Tuple[Symbol, ...] = (),
+                 discharged: bool = False):
         self.params = params
         self.nparams = len(params)
         self.frame_size = 1 + len(params)
@@ -138,6 +147,7 @@ class CLam(Code):
         self.loc = loc
         self.free = free
         self.env_names = env_names
+        self.discharged = discharged
 
     def __repr__(self) -> str:
         shown = self.name or f"λ{self.label}"
@@ -295,11 +305,14 @@ class _LamScope:
 
 class Resolver:
     """One resolution walk.  ``ribs`` is the static frame chain, innermost
-    last; each rib is the tuple of symbols its runtime frame will hold."""
+    last; each rib is the tuple of symbols its runtime frame will hold.
+    ``skip_labels`` (a residual policy's discharged λ-label set) stamps
+    matching λs with the monitor-free ``discharged`` mark."""
 
-    def __init__(self):
+    def __init__(self, skip_labels=None):
         self.ribs: List[Tuple[Symbol, ...]] = []
         self.lams: List[_LamScope] = []
+        self.skip_labels = skip_labels
 
     # -- the walk --------------------------------------------------------------
 
@@ -390,10 +403,16 @@ class Resolver:
         # A free variable of an inner λ is (transitively) free here too
         # unless bound by one of this λ's own ribs; _note_free already
         # recorded it against every scope it escapes, so nothing to merge.
+        discharged = (self.skip_labels is not None
+                      and node.label in self.skip_labels)
         return CLam(node.params, body, node.name, node.label, node.loc, free,
-                    env_names)
+                    env_names, discharged)
 
 
-def resolve(expr: ast.Node) -> Code:
-    """Compile one expression (a top-level form's body) to code nodes."""
-    return Resolver().resolve(expr)
+def resolve(expr: ast.Node, skip_labels=None) -> Code:
+    """Compile one expression (a top-level form's body) to code nodes.
+
+    ``skip_labels`` — λ labels a :class:`~repro.analysis.discharge.
+    ResidualPolicy` discharged; their :class:`CLam`\\ s get the
+    ``discharged`` mark the machine's monitored modes honor."""
+    return Resolver(skip_labels).resolve(expr)

@@ -37,7 +37,12 @@ class MCMonitor(SCMonitor):
     """``SCMonitor`` with monotonicity-constraint evidence.
 
     All policy knobs (keying, backoff, whitelist, loop entries, measures,
-    tracing, ``enforce=False`` call-sequence mode) behave identically.
+    tracing, ``enforce=False`` call-sequence mode) behave identically —
+    including ``skip_labels``: a residual policy computed from MC
+    certificates (:mod:`repro.analysis.discharge` with an
+    :class:`~repro.mc.static.MCEngine`) plugs in through the same
+    ``should_monitor`` skip set, so discharged λs bypass MC monitoring on
+    the non-compiled path exactly as they bypass SC monitoring.
     The ``order`` option is ignored: MC graphs always compare in the
     well-founded size measure, which is what makes both termination
     arguments (descent and bounded ascent) sound.  The ``engine`` knob is

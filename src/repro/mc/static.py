@@ -36,8 +36,14 @@ class MCEngine(Engine):
 
     ``self.edges`` maps ``(caller λ-label, callee λ-label)`` to sets of
     :class:`MCGraph` (the base class stores :class:`SCGraph` there; the
-    two are never mixed in one engine).
+    two are never mixed in one engine).  ``evidence_kind`` routes the
+    discharge certificate (:meth:`~repro.symbolic.engine.Engine.
+    certificate`) to :func:`repro.mc.analyze.mc_check`, and incompleteness
+    taint is inherited unchanged — both engines taint identically on
+    havoc, lost applications, and budget exhaustion (property-tested).
     """
+
+    evidence_kind = "mc"
 
     def _record_edge(self, frame: Frame, callee_label: int, args, pc) -> None:
         old = frame.entry_values
@@ -84,6 +90,9 @@ def verify_program_mc(
         )
     engine.run(entry_value, list(kinds))
 
+    # The discharge certificate stays lazy: Verdict.certificate computes
+    # it from the retained engine only when a consumer (--json, pyterm
+    # discharge) actually asks.
     result = mc_check(engine.edges)
     reasons: List[str] = []
     if result.ok is False:

@@ -9,8 +9,21 @@ Implementation notes
 * Sibling recursive calls therefore compare against their *parent's*
   arguments, never against each other (e.g. merge-sort's two half-sorted
   branches), exactly like the λSCT table semantics.
-* Keyword arguments are normalized into positional order via the function's
-  signature, so the graph positions line up with parameter names.
+* Keyword arguments and defaults are normalized into full positional
+  order via ``signature.bind`` + ``apply_defaults`` — on *every* call
+  once the function has defaulted parameters, not just on keyword calls.
+  Otherwise a call that leaves a defaulted middle parameter implicit
+  would record a shorter argument tuple than one that supplies it, and
+  the graph positions (hence the descent evidence) would misalign.
+* ``discharge='auto'`` runs the §4 static verifier once, at decoration
+  time, on a conservative embedded-language translation of the function
+  (:mod:`repro.pyterm.translate`); when the verifier proves termination
+  the instrumentation is dropped entirely — the original function is
+  returned, stamped ``__sct_discharged__`` — and the certificate is
+  cached content-addressed (:mod:`repro.analysis.discharge`) so repeated
+  decorations (reloads, subprocesses with a shared on-disk store) skip
+  the verifier.  ``discharge='require'`` raises instead of silently
+  keeping the monitor.
 """
 
 from __future__ import annotations
@@ -18,7 +31,7 @@ from __future__ import annotations
 import functools
 import inspect
 import threading
-from typing import Callable, Optional, Tuple
+from typing import Callable, Optional, Sequence, Tuple
 
 from repro.sct.errors import SizeChangeViolation
 from repro.sct.graph import graph_of_values
@@ -65,6 +78,9 @@ def terminating(
     blame: Optional[str] = None,
     deep: bool = False,
     graphs: str = "sc",
+    discharge: Optional[str] = None,
+    kinds: Optional[Sequence[str]] = None,
+    result_kind: Optional[str] = None,
 ):
     """Assert that ``fn`` is size-change terminating, dynamically.
 
@@ -88,6 +104,17 @@ def terminating(
       ``"mc"`` (monotonicity-constraint graphs, the §6.2 extension):
       ``"mc"`` additionally accepts counting-up-to-a-ceiling loops such as
       ``range(lo, hi) → range(lo+1, hi)`` without a ``measure``.
+    * ``discharge`` — ``'auto'``: statically verify the function once at
+      decoration time (via the embedded-language translation) and, on
+      success, return the *original* function — zero instrumentation,
+      with ``__sct_discharged__ = True``; on failure keep the monitor
+      (the refusal reason lands in ``__sct_discharge_reason__``).
+      ``'require'`` raises ``ValueError`` when verification fails.
+      Verification honors ``kinds`` (per-parameter entry kinds, e.g.
+      ``('nat',)`` — defaults to ``'int'``, which rarely proves descent
+      under the ``|·|`` order) and ``result_kind`` (the function's
+      contract range, §4.2), and is cached content-addressed across
+      decorations.
 
     Usable bare (``@terminating``) or with options
     (``@terminating(backoff=True)``).
@@ -95,10 +122,29 @@ def terminating(
     if fn is None:
         return lambda f: terminating(
             f, order=order, backoff=backoff, measure=measure, blame=blame,
-            deep=deep, graphs=graphs,
+            deep=deep, graphs=graphs, discharge=discharge, kinds=kinds,
+            result_kind=result_kind,
         )
     if graphs not in ("sc", "mc"):
         raise ValueError(f"graphs must be 'sc' or 'mc', got {graphs!r}")
+    if discharge not in (None, "off", "auto", "require"):
+        raise ValueError(
+            f"discharge must be 'off', 'auto' or 'require', got {discharge!r}")
+
+    discharge_reason = None
+    if discharge in ("auto", "require"):
+        proven, discharge_reason = _discharge_statically(
+            fn, graphs, kinds, result_kind)
+        if proven:
+            fn.__sct_terminating__ = True
+            fn.__sct_discharged__ = True
+            fn.__sct_discharge_reason__ = None
+            return fn
+        if discharge == "require":
+            raise ValueError(
+                f"@terminating(discharge='require'): cannot statically "
+                f"verify {getattr(fn, '__qualname__', fn)!r}: "
+                f"{discharge_reason}")
 
     the_order = order if order is not None else PySizeOrder(deep=deep)
     if graphs == "mc":
@@ -122,9 +168,18 @@ def terminating(
     except (TypeError, ValueError):
         signature = None
         param_names = None
+    # A function with defaulted (or keyword-only / var-) parameters must
+    # normalize on *every* call: a purely positional call that leaves a
+    # defaulted middle parameter implicit would otherwise record a
+    # shorter tuple than a call supplying it, shifting graph positions.
+    needs_binding = signature is not None and any(
+        p.default is not inspect.Parameter.empty
+        or p.kind in (p.VAR_POSITIONAL, p.VAR_KEYWORD, p.KEYWORD_ONLY)
+        for p in signature.parameters.values()
+    )
 
     def _normalize(args: tuple, kwargs: dict) -> tuple:
-        if not kwargs:
+        if not kwargs and not needs_binding:
             return args
         if signature is None:
             return args + tuple(kwargs[k] for k in sorted(kwargs))
@@ -175,4 +230,50 @@ def terminating(
 
     wrapper.__wrapped__ = fn
     wrapper.__sct_terminating__ = True
+    wrapper.__sct_discharged__ = False
+    wrapper.__sct_discharge_reason__ = discharge_reason
     return wrapper
+
+
+def _discharge_statically(fn, graphs: str, kinds, result_kind):
+    """Translate ``fn`` to the embedded language and verify it; returns
+    ``(proven, reason_if_not)``.  Certificates go through the shared
+    content-addressed cache, so re-decorating the same source (module
+    reloads, spawned workers with an on-disk store) skips the verifier."""
+    from repro.analysis.discharge import VerificationCache, default_cache
+    from repro.pyterm.translate import Untranslatable, translate_function
+
+    try:
+        source, entry, params = translate_function(fn)
+    except Untranslatable as exc:
+        return False, f"not translatable: {exc}"
+    if kinds is None:
+        kinds = ("int",) * len(params)
+    kinds = tuple(kinds)
+    if len(kinds) != len(params):
+        return False, (f"{len(params)} parameters but {len(kinds)} kinds "
+                       "given")
+    result_kinds = {entry: result_kind} if result_kind else None
+
+    from repro.lang.parser import parse_program
+
+    program = parse_program(source, source=f"<pyterm:{entry}>")
+    cache = default_cache()
+    key = VerificationCache.key(source, entry, kinds, result_kinds,
+                                f"pyterm-{graphs}")
+    certificate = cache.get(key, program)
+    if certificate is None:
+        if graphs == "mc":
+            from repro.mc.static import verify_program_mc as verify
+        else:
+            from repro.symbolic.verify import verify_program as verify
+        verdict = verify(program, entry, kinds, result_kinds=result_kinds)
+        certificate = verdict.certificate
+        if certificate is None:
+            return False, "; ".join(verdict.reasons) or "verifier failure"
+        cache.put(key, certificate, program)
+    if certificate.complete:
+        return True, None
+    why = "; ".join(certificate.taint_reasons) or \
+        "the collected graphs do not pass the static check"
+    return False, f"verification inconclusive: {why}"

@@ -1,0 +1,191 @@
+"""Conservative Python → embedded-language translation for discharge.
+
+``@terminating(discharge='auto')`` wants to run the §4 verifier on a
+*Python* function.  Rather than re-implement symbolic execution for
+Python, this module translates a restricted — integer-valued, purely
+functional, self-recursive — subset into the embedded language, where the
+existing pipeline (engine → LJB → certificate) applies unchanged.  The
+translation is the trusted step, so it refuses (raising
+:class:`Untranslatable`) anything whose Scheme rendering is not
+observably equivalent:
+
+* parameters: plain positional, no defaults/varargs/keyword-only;
+* statements: ``return``, and ``if``/``elif``/``else`` trees (a bare
+  ``if`` may be followed by further statements, which become its else
+  branch; every path must end in ``return``);
+* expressions: parameter reads, ``int``/``bool`` constants, ``+ - *``
+  (``//`` → ``quotient``, ``%`` → ``modulo`` — both sound here: the
+  verifier keeps division uninterpreted, over-approximating either
+  rounding convention), single comparisons, ``and``/``or``/``not``,
+  conditional expressions, and positional self-calls;
+* truthiness: an integer-typed test compiles to ``(not (= t 0))`` —
+  Python's ``if n:`` — because the embedded language treats every
+  integer (including 0) as true.
+
+Everything else stays dynamically monitored; refusal is the sound
+default.
+"""
+
+from __future__ import annotations
+
+import ast as pyast
+import inspect
+import textwrap
+from typing import Tuple
+
+#: Python binary operators with exact embedded-language counterparts.
+_BINOPS = {
+    pyast.Add: "+",
+    pyast.Sub: "-",
+    pyast.Mult: "*",
+    pyast.FloorDiv: "quotient",
+    pyast.Mod: "modulo",
+}
+
+_CMPOPS = {
+    pyast.Eq: "=",
+    pyast.Lt: "<",
+    pyast.LtE: "<=",
+    pyast.Gt: ">",
+    pyast.GtE: ">=",
+}
+
+
+class Untranslatable(Exception):
+    """The function falls outside the translatable subset (stay monitored)."""
+
+
+class _Translator:
+    def __init__(self, fn_name: str, params: Tuple[str, ...]):
+        self.fn_name = fn_name
+        self.params = set(params)
+
+    # -- statements -----------------------------------------------------------
+
+    def block(self, stmts) -> str:
+        """A statement suffix (function body or branch) → one expression;
+        every path through it must return."""
+        if not stmts:
+            raise Untranslatable("a control path falls off the end "
+                                 "(no return)")
+        head, rest = stmts[0], stmts[1:]
+        if isinstance(head, pyast.Return):
+            if head.value is None:
+                raise Untranslatable("bare `return` (no value)")
+            # Dead statements after a return don't affect the value.
+            return self.expr(head.value)[0]
+        if isinstance(head, pyast.If):
+            test = self.test(head.test)
+            then = self.block(head.body)
+            if head.orelse and rest:
+                raise Untranslatable("an if with both an else branch and "
+                                     "trailing statements")
+            els = self.block(head.orelse or rest)
+            return f"(if {test} {then} {els})"
+        raise Untranslatable(
+            f"unsupported statement {type(head).__name__}")
+
+    # -- expressions ----------------------------------------------------------
+
+    def test(self, node) -> str:
+        """An expression in boolean position; ints get Python truthiness."""
+        code, kind = self.expr(node)
+        if kind == "int":
+            return f"(not (= {code} 0))"
+        return code
+
+    def expr(self, node) -> Tuple[str, str]:
+        """→ ``(code, kind)`` with kind ∈ {'int', 'bool'}."""
+        if isinstance(node, pyast.Constant):
+            v = node.value
+            if v is True:
+                return "#t", "bool"
+            if v is False:
+                return "#f", "bool"
+            if type(v) is int:
+                return str(v), "int"
+            raise Untranslatable(f"unsupported constant {v!r}")
+        if isinstance(node, pyast.Name):
+            if node.id in self.params:
+                return node.id, "int"
+            raise Untranslatable(f"free variable {node.id!r}")
+        if isinstance(node, pyast.BinOp):
+            op = _BINOPS.get(type(node.op))
+            if op is None:
+                raise Untranslatable(
+                    f"unsupported operator {type(node.op).__name__}")
+            left, _ = self.expr(node.left)
+            right, _ = self.expr(node.right)
+            return f"({op} {left} {right})", "int"
+        if isinstance(node, pyast.UnaryOp):
+            if isinstance(node.op, pyast.USub):
+                operand, _ = self.expr(node.operand)
+                return f"(- 0 {operand})", "int"
+            if isinstance(node.op, pyast.Not):
+                return f"(not {self.test(node.operand)})", "bool"
+            raise Untranslatable(
+                f"unsupported unary {type(node.op).__name__}")
+        if isinstance(node, pyast.Compare):
+            if len(node.ops) != 1:
+                raise Untranslatable("chained comparison")
+            op = type(node.ops[0])
+            left, _ = self.expr(node.left)
+            right, _ = self.expr(node.comparators[0])
+            if op in _CMPOPS:
+                return f"({_CMPOPS[op]} {left} {right})", "bool"
+            if op is pyast.NotEq:
+                return f"(not (= {left} {right}))", "bool"
+            raise Untranslatable(f"unsupported comparison {op.__name__}")
+        if isinstance(node, pyast.BoolOp):
+            op = "and" if isinstance(node.op, pyast.And) else "or"
+            parts = " ".join(self.test(v) for v in node.values)
+            return f"({op} {parts})", "bool"
+        if isinstance(node, pyast.IfExp):
+            test = self.test(node.test)
+            then, k1 = self.expr(node.body)
+            els, k2 = self.expr(node.orelse)
+            return f"(if {test} {then} {els})", \
+                k1 if k1 == k2 else "int"
+        if isinstance(node, pyast.Call):
+            fn = node.func
+            if not (isinstance(fn, pyast.Name) and fn.id == self.fn_name
+                    and fn.id not in self.params):
+                raise Untranslatable(
+                    "call to something other than the function itself")
+            if node.keywords:
+                raise Untranslatable("keyword arguments in a self-call")
+            args = " ".join(self.expr(a)[0] for a in node.args)
+            return f"({self.fn_name} {args})", "int"
+        raise Untranslatable(
+            f"unsupported expression {type(node).__name__}")
+
+
+def translate_function(fn) -> Tuple[str, str, Tuple[str, ...]]:
+    """``fn`` → ``(embedded source, entry name, parameter names)``.
+
+    Raises :class:`Untranslatable` for anything outside the subset —
+    including functions whose source is unavailable (builtins, REPL
+    lambdas, C extensions)."""
+    try:
+        source = textwrap.dedent(inspect.getsource(fn))
+    except (OSError, TypeError) as exc:
+        raise Untranslatable(f"no source available: {exc}") from None
+    try:
+        module = pyast.parse(source)
+    except SyntaxError as exc:  # pragma: no cover - dedent should suffice
+        raise Untranslatable(f"source does not parse: {exc}") from None
+    if len(module.body) != 1 or \
+            not isinstance(module.body[0], pyast.FunctionDef):
+        raise Untranslatable("expected a single plain function definition")
+    fdef = module.body[0]
+    args = fdef.args
+    if (args.vararg or args.kwarg or args.kwonlyargs or args.defaults
+            or args.kw_defaults or args.posonlyargs):
+        raise Untranslatable("only plain positional parameters translate")
+    params = tuple(a.arg for a in args.args)
+    if not params:
+        raise Untranslatable("nullary functions have no size-change arcs")
+    name = fdef.name
+    body = _Translator(name, params).block(fdef.body)
+    scheme = f"(define ({name} {' '.join(params)})\n  {body})\n"
+    return scheme, name, params

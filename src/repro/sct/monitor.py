@@ -28,6 +28,11 @@ Policy knobs (§5 of the paper, plus the engine selector):
   are monitored,
 * ``whitelist`` — function names known to terminate (e.g. statically
   verified ones) that need no instrumentation,
+* ``skip_labels`` — λ labels a static discharge certificate proved
+  terminating (:mod:`repro.analysis.discharge`): closures with those
+  labels are not monitored.  This is the residual-enforcement hook for
+  the non-compiled path — the compiled machine additionally honors the
+  equivalent per-λ ``discharged`` mark without calling into the monitor,
 * ``measures`` — per-function-name argument-tuple measures implementing
   custom well-founded orders (``lh-range``, ``acl2-fig-2``),
 * ``engine`` — ``'bitmask'`` (default) keeps each entry's composition set
@@ -114,6 +119,7 @@ class SCMonitor:
         backoff: bool = False,
         whitelist: Iterable[str] = (),
         loop_entries: Optional[Set[int]] = None,
+        skip_labels: Optional[FrozenSet[int]] = None,
         measures: Optional[Dict[str, Callable[[Tuple], Tuple]]] = None,
         trace: Optional[list] = None,
         enforce: bool = True,
@@ -137,6 +143,11 @@ class SCMonitor:
         self.backoff = backoff
         self.whitelist = frozenset(whitelist)
         self.loop_entries = loop_entries
+        # Residual enforcement: statically discharged λ labels.  None and
+        # the empty set are equivalent (monitor everything); run_program
+        # installs the run's policy here so the tree machine and any
+        # direct `upd` driver honor it through `should_monitor`.
+        self.skip_labels = frozenset(skip_labels) if skip_labels else None
         self.measures = dict(measures) if measures else {}
         # Optional event log: (function, prev_args, new_args, graph) per check.
         self.trace = trace
@@ -157,6 +168,8 @@ class SCMonitor:
     # -- policy ---------------------------------------------------------------
 
     def should_monitor(self, clo: Closure) -> bool:
+        if self.skip_labels is not None and clo.lam.label in self.skip_labels:
+            return False
         if self.loop_entries is not None and clo.lam.label not in self.loop_entries:
             return False
         if clo.name is not None and clo.name in self.whitelist:
@@ -324,11 +337,18 @@ class SCMonitor:
             and cls.initial_entry is SCMonitor.initial_entry
         )
 
-    def trivial_policy(self) -> bool:
+    def trivial_policy(self, ignore_skip_labels: bool = False) -> bool:
         """True when ``should_monitor`` is constant-true (no whitelist, no
-        loop-entry set, base method), so callers may skip the call."""
+        loop-entry set, base method), so callers may skip the call.
+
+        ``ignore_skip_labels`` is for the compiled machine, which tests
+        the residual skip set inline (``clam.discharged`` /
+        ``label in skips``) before this policy check ever runs; every
+        other caller must leave it False so a skip set disables the
+        shortcut."""
         return (
-            self.loop_entries is None
+            (ignore_skip_labels or self.skip_labels is None)
+            and self.loop_entries is None
             and not self.whitelist
             and type(self).should_monitor is SCMonitor.should_monitor
         )

@@ -103,6 +103,10 @@ class Frame:
 
 
 class Engine:
+    #: Which evidence family the engine records on call edges; the
+    #: discharge pipeline uses it to pick the matching phase-2 check.
+    evidence_kind = "sc"
+
     def __init__(self, program: Program, budget: Optional[Budget] = None,
                  result_kinds: Optional[Dict[str, str]] = None,
                  include_prelude: bool = True):
@@ -118,6 +122,20 @@ class Engine:
         self.label_names: Dict[int, str] = {}
         self.label_params: Dict[int, List[str]] = {}
         self.incomplete: List[str] = []
+        # Discharge taint (see repro.analysis.discharge): incompleteness
+        # always taints, and some analysis events taint *discharge* without
+        # downgrading the verdict — applying an opponent-supplied opaque
+        # function is sound for verification (the opponent's terminating/c
+        # obligation, per soft-contract blame semantics) but means unseen
+        # re-entrant calls could reach any label with novel arguments, so
+        # no label may drop its residual check.  ``tainted_labels`` carries
+        # per-label taint (closed forward over call edges by the
+        # certificate computation); every taint source known today is
+        # global, so in practice ``discharge_unsafe`` drives the outcome.
+        self.discharge_unsafe: List[str] = []
+        self.tainted_labels: Set[int] = set()
+        self.entry_label: Optional[int] = None
+        self.entry_kinds: Tuple[str, ...] = ()
         self.summaries_done: Set[Tuple] = set()
         self.worklist = deque()
         self._paths_used = 0
@@ -142,18 +160,19 @@ class Engine:
         call ``map``/``foldr``/``contract``/... can be analyzed.  Library
         definitions are λ-bodies: evaluating them is deterministic and
         builds no summaries until they are actually applied."""
-        from repro.lang.contracts_lib import CONTRACTS_SOURCE
-        from repro.lang.parser import parse_program
-        from repro.lang.prims import PRELUDE_SOURCE
+        from repro.lang.libraries import contracts_program, prelude_program
 
         # Library loading is setup, not analysis: exempt it from the
-        # user's path budget and reset the counter afterwards.
+        # user's path budget and reset the counter afterwards.  The parses
+        # are the process-shared ones (repro.lang.libraries), so library λ
+        # labels here coincide with the labels the evaluator's prelude
+        # closures carry — a discharge certificate covering ``map`` names
+        # the same λ the monitor would instrument.
         saved = self.budget.max_paths_per_summary
         self.budget.max_paths_per_summary = 10 ** 9
         try:
-            for source, tag in ((PRELUDE_SOURCE, "<prelude>"),
-                                (CONTRACTS_SOURCE, "<contracts>")):
-                self._define_forms(parse_program(source, source=tag).forms)
+            for library in (prelude_program(), contracts_program()):
+                self._define_forms(library.forms)
         finally:
             self.budget.max_paths_per_summary = saved
             self._paths_used = 0
@@ -183,6 +202,19 @@ class Engine:
     def note_incomplete(self, reason: str) -> None:
         if reason not in self.incomplete:
             self.incomplete.append(reason)
+
+    def note_discharge_unsafe(self, reason: str) -> None:
+        """Record a reason static discharge of the dynamic checks is
+        blocked even though the verification verdict stands."""
+        if reason not in self.discharge_unsafe:
+            self.discharge_unsafe.append(reason)
+
+    def certificate(self, max_graphs: int = 20000):
+        """The per-λ-label :class:`~repro.analysis.discharge.
+        DischargeCertificate` for this analysis (call after :meth:`run`)."""
+        from repro.analysis.discharge import certificate_from_engine
+
+        return certificate_from_engine(self, max_graphs=max_graphs)
 
     # -- evaluation ----------------------------------------------------------------------
 
@@ -341,6 +373,13 @@ class Engine:
                 self.note_incomplete(
                     "applied a function value the analysis lost track of"
                 )
+            else:
+                self.note_discharge_unsafe(
+                    "applied an opponent-supplied opaque function: its "
+                    "unseen calls could re-enter any λ, so every dynamic "
+                    "check stays (the terminating/c obligation keeps the "
+                    "verdict itself sound)"
+                )
             result = SVar(fresh_name("app"), origin=fn.origin)
             return [(result, refined)]
         return []  # applying a non-procedure: error path
@@ -464,6 +503,8 @@ class Engine:
                     "nil": ("nil",)}
         desc = tuple(kind_map.get(k, ("any",)) for k in entry_kinds)
         key = (entry_clo.lam.label, desc)
+        self.entry_label = entry_clo.lam.label
+        self.entry_kinds = tuple(entry_kinds)
         self.summaries_done.add(key)
         self.label_names.setdefault(entry_clo.lam.label, entry_clo.describe())
         self.label_params.setdefault(

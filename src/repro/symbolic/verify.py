@@ -35,7 +35,8 @@ class Verdict:
     def __init__(self, status: str, reasons: List[str], engine: Optional[Engine] = None,
                  witness=None, witness_function: Optional[str] = None,
                  witness_path: Optional[str] = None,
-                 explanation: Optional[List[str]] = None):
+                 explanation: Optional[List[str]] = None,
+                 certificate=None):
         self.status = status
         self.reasons = reasons
         self.engine = engine
@@ -47,10 +48,56 @@ class Verdict:
         # Positive certificate for VERIFIED verdicts: per-function anchor
         # lines from repro.analysis.anchors.
         self.explanation = explanation or []
+        self._certificate = certificate
+
+    @property
+    def certificate(self):
+        """The discharge certificate (:mod:`repro.analysis.discharge`):
+        per-λ-label SKIP/MONITOR decisions the dynamic layers consume.
+        Available whenever the engine analyzed an entry, whatever the
+        verdict — an UNKNOWN verdict can still discharge the λs it did
+        prove.  Computed lazily (it re-closes the reachable sub-multigraph
+        per label), so plain ``verify`` callers never pay for it."""
+        if self._certificate is None and self.engine is not None \
+                and getattr(self.engine, "entry_label", None) is not None:
+            self._certificate = self.engine.certificate()
+        return self._certificate
 
     @property
     def verified(self) -> bool:
         return self.status == Verdict.VERIFIED
+
+    def to_json(self, entry: Optional[str] = None,
+                kinds: Optional[Sequence[str]] = None) -> dict:
+        """The machine-readable verdict (``sized verify --json``)."""
+        witness = None
+        if self.witness is not None:
+            names = None
+            if self.engine is not None and self.witness_function:
+                for label, nm in self.engine.label_names.items():
+                    if nm == self.witness_function:
+                        names = self.engine.label_params.get(label)
+            try:
+                rendered = self.witness.pretty(names)
+            except (AttributeError, TypeError):
+                rendered = repr(self.witness)
+            witness = {
+                "function": self.witness_function,
+                "graph": rendered,
+                "path": self.witness_path,
+            }
+        return {
+            "schema": "sized-verify/v1",
+            "status": self.status,
+            "entry": entry,
+            "kinds": list(kinds) if kinds is not None else None,
+            "verified": self.verified,
+            "reasons": list(self.reasons),
+            "witness": witness,
+            "explanation": list(self.explanation),
+            "discharge": (self.certificate.summary()
+                          if self.certificate is not None else None),
+        }
 
     def render(self) -> str:
         lines = [f"verdict: {self.status}"]
@@ -83,7 +130,18 @@ def verify_program(
     kinds: Sequence[str],
     budget: Optional[Budget] = None,
     result_kinds=None,
+    graph_engine: str = "bitmask",
 ) -> Verdict:
+    """Verify ``entry`` under ``kinds``.
+
+    ``graph_engine`` selects the phase-2 closure representation —
+    ``'bitmask'`` (packed int pairs, the default) or ``'reference'`` (the
+    paper's frozenset graphs) — mirroring the ``--engine`` knob of ``run``
+    and ``trace``.  On failure the witness multipath is always re-derived
+    with the provenance-tracking reference walk.
+    """
+    if graph_engine not in ("bitmask", "reference"):
+        raise ValueError(f"unknown graph engine: {graph_engine!r}")
     engine = Engine(program, budget=budget, result_kinds=result_kinds)
     entry_value = engine.globals.bindings.get(intern(entry))
     if not isinstance(entry_value, Closure):
@@ -102,19 +160,33 @@ def verify_program(
         )
     engine.run(entry_value, list(kinds))
 
-    scp = scp_check_with_witness(engine.edges)
+    if graph_engine == "reference":
+        scp = scp_check_with_witness(engine.edges)
+        failed = scp.ok is False
+        undetermined = scp.ok is None
+    else:
+        quick = scp_check(engine.edges, engine="bitmask")
+        failed = quick.ok is False
+        undetermined = quick.ok is None
+        # The bitmask closure carries no provenance; re-derive the
+        # multipath with the reference walk (both engines' completed
+        # verdicts coincide — see repro.analysis.ljb).
+        scp = scp_check_with_witness(engine.edges) if failed else quick
+        if failed and scp.ok is not False:  # pragma: no cover - cap races
+            scp = quick
     reasons: List[str] = []
-    if scp.ok is False:
+    if failed:
         fn = engine.label_names.get(scp.witness_label, f"λ{scp.witness_label}")
         reasons.append(
             f"size-change principle fails at {fn}: no composition of the "
             "collected graphs guarantees descent"
         )
-        path = scp.render_path(engine.label_names, engine.label_params)
+        path = (scp.render_path(engine.label_names, engine.label_params)
+                if hasattr(scp, "render_path") else None)
         return Verdict(Verdict.UNKNOWN, reasons + engine.incomplete, engine,
                        witness=scp.witness_graph, witness_function=fn,
                        witness_path=path)
-    if scp.ok is None:
+    if undetermined:
         reasons.append("graph-closure budget exceeded")
     reasons.extend(engine.incomplete)
     if reasons:
@@ -125,6 +197,8 @@ def verify_program(
 
 
 def verify_source(text: str, entry: str, kinds: Sequence[str],
-                  budget: Optional[Budget] = None, result_kinds=None) -> Verdict:
+                  budget: Optional[Budget] = None, result_kinds=None,
+                  graph_engine: str = "bitmask") -> Verdict:
     return verify_program(parse_program(text), entry, kinds, budget=budget,
-                          result_kinds=result_kinds)
+                          result_kinds=result_kinds,
+                          graph_engine=graph_engine)

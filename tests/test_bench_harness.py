@@ -106,3 +106,37 @@ class TestMCHarness:
 
         assert main(["bench", "mc", "--repeats", "1"]) == 0
         assert "gained by MC" in capsys.readouterr().out
+
+
+class TestResidualHarness:
+    def test_run_render_and_report(self, tmp_path):
+        from repro.bench.residual import (
+            discharged_subset,
+            render_residual,
+            residual_report,
+            run_residual,
+            write_residual_json,
+        )
+
+        cells = run_residual(scale="smoke", repeats=1,
+                             programs=("sct-1", "lh-tfact"))
+        assert {c.program for c in cells} == {"sct-1", "lh-tfact"}
+        for c in cells:
+            assert c.unmonitored_s > 0 and c.discharged_s > 0
+            assert c.skipped_labels >= 1
+        rendered = render_residual(cells)
+        assert "discharged" in rendered and "geomean" in rendered
+        report = residual_report(cells, scale="smoke", repeats=1)
+        assert report["schema"] == "bench-residual/v1"
+        assert set(report["geomeans"]) == {"monitored", "discharged"}
+        out = tmp_path / "BENCH_residual.json"
+        write_residual_json(cells, str(out), scale="smoke", repeats=1)
+        assert out.exists()
+
+    def test_subset_excludes_unverified(self):
+        from repro.bench.residual import discharged_subset
+        from repro.corpus import get_program
+
+        subset = discharged_subset([get_program("lh-gcd"),
+                                    get_program("sct-1")])
+        assert [prog.name for prog, _, _ in subset] == ["sct-1"]

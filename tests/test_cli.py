@@ -76,6 +76,106 @@ class TestVerify:
         assert code == 0
 
 
+ACK = """
+(define (ack m n)
+  (cond [(= 0 m) (+ 1 n)]
+        [(= 0 n) (ack (- m 1) 1)]
+        [else (ack (- m 1) (ack m (- n 1)))]))
+(ack 2 3)
+"""
+
+
+class TestVerifyJsonAndEngine:
+    def test_json_verified(self, scm, capsys):
+        import json
+
+        path = scm(ACK)
+        code = main(["verify", path, "--entry", "ack", "--kinds", "nat,nat",
+                     "--result-kind", "nat", "--json"])
+        assert code == 0
+        data = json.loads(capsys.readouterr().out)
+        assert data["status"] == "verified" and data["verified"] is True
+        assert data["entry"] == "ack" and data["kinds"] == ["nat", "nat"]
+        assert data["witness"] is None
+        assert data["discharge"]["complete"] is True
+        assert "ack" in data["discharge"]["discharged"]
+
+    def test_json_unknown_nonzero_exit(self, scm, capsys):
+        import json
+
+        path = scm("(define (f x) (f x))")
+        code = main(["verify", path, "--entry", "f", "--kinds", "nat",
+                     "--json"])
+        assert code == 3  # CI scripts gate on the exit code
+        data = json.loads(capsys.readouterr().out)
+        assert data["status"] == "unknown" and data["reasons"]
+        assert data["witness"]["function"] == "f"
+        assert data["witness"]["path"]
+
+    def test_engine_parity(self, scm, capsys):
+        path = scm(ACK)
+        results = {}
+        for engine in ("bitmask", "reference"):
+            code = main(["verify", path, "--entry", "ack",
+                         "--kinds", "nat,nat", "--result-kind", "nat",
+                         "--engine", engine])
+            results[engine] = (code, capsys.readouterr().out.splitlines()[0])
+        assert results["bitmask"] == results["reference"]
+
+    def test_engine_parity_on_failure(self, scm, capsys):
+        path = scm("(define (f x) (f x))")
+        for engine in ("bitmask", "reference"):
+            code = main(["verify", path, "--entry", "f", "--kinds", "nat",
+                         "--engine", engine])
+            assert code == 3
+            assert "witness" in capsys.readouterr().out
+
+
+class TestRunDischarge:
+    def test_discharge_try_verified(self, scm, capsys):
+        path = scm(ACK)
+        code = main(["run", path, "--mode", "full", "--discharge", "try",
+                     "--result-kind", "ack=nat"])
+        assert code == 0
+        assert capsys.readouterr().out.strip() == "9"
+
+    def test_discharge_require_verified(self, scm, capsys):
+        path = scm(ACK)
+        code = main(["run", path, "--mode", "full", "--discharge", "require",
+                     "--result-kind", "ack=nat"])
+        assert code == 0
+        assert capsys.readouterr().out.strip() == "9"
+
+    def test_discharge_require_refuses(self, scm, capsys):
+        path = scm("(define (f x) (f x)) (f 1)")
+        code = main(["run", path, "--mode", "full",
+                     "--discharge", "require"])
+        assert code == 5
+        assert "cannot fully discharge" in capsys.readouterr().err
+
+    def test_discharge_try_keeps_residual_checks(self, scm, capsys):
+        path = scm("(define (f x) (f x)) (f 1)")
+        plain = main(["run", path, "--mode", "full"])
+        plain_err = capsys.readouterr().err
+        code = main(["run", path, "--mode", "full", "--discharge", "try"])
+        err = capsys.readouterr().err
+        assert code == plain == 3
+        assert err == plain_err  # byte-identical violation
+
+    def test_discharge_cache_on_disk(self, scm, tmp_path, capsys):
+        path = scm(ACK)
+        store = str(tmp_path / "certs")
+        for _ in range(2):
+            code = main(["run", path, "--mode", "full", "--discharge",
+                         "require", "--result-kind", "ack=nat",
+                         "--discharge-cache", store])
+            assert code == 0
+            capsys.readouterr()
+        import os
+
+        assert os.listdir(store)
+
+
 class TestCorpusListing:
     def test_corpus(self, capsys):
         assert main(["corpus"]) == 0

@@ -1,0 +1,287 @@
+"""The discharge pipeline: certificates, residual policies, the
+verification cache, and the differential guarantee.
+
+The differential claims are the PR's acceptance contract:
+
+* **Discharged runs are observably identical** — same values, same
+  output — on every corpus program, under both machines.
+* **Residual checks are untouched** — on every program the verifier
+  could *not* (fully) discharge, the violations raised are byte-identical
+  to full monitoring's, including the diverging corpus.
+* **Discharge is real** — on the fully discharged subset the monitor
+  sees zero calls.
+"""
+
+import json
+
+import pytest
+
+from repro.analysis.discharge import (
+    MONITOR,
+    SKIP,
+    DischargeCertificate,
+    VerificationCache,
+    discharge_for_run,
+    infer_workload,
+    residual_policy,
+)
+from repro.corpus import all_programs, diverging_programs
+from repro.eval.machine import Answer, run_program
+from repro.lang.parser import parse_program
+from repro.sct.monitor import SCMonitor
+from repro.values.values import write_value
+
+PROGRAMS = all_programs()
+DIVERGING = diverging_programs()
+
+# The big interpreter benchmark is slow; its discharge runs only on the
+# compiled machine (every other program exercises both).
+_SLOW = {"scheme"}
+
+#: Programs whose workload must fully discharge (pinned: a regression
+#: here silently reintroduces monitoring overhead on proven code).
+EXPECTED_DISCHARGED = {
+    "sct-1", "sct-2", "sct-3", "sct-4", "sct-5", "sct-6",
+    "isabelle-perm", "acl2-fig-6", "lh-merge", "lh-tfact",
+    "dderiv", "deriv", "nfa",
+}
+
+
+def _discharge(prog):
+    parsed = parse_program(prog.source)
+    result = discharge_for_run(parsed, text=prog.source,
+                               result_kinds=prog.result_kinds)
+    return parsed, result
+
+
+class TestCertificates:
+    def test_expected_subset_discharges(self):
+        discharged = set()
+        for prog in PROGRAMS:
+            _, result = _discharge(prog)
+            if result.complete and result.policy:
+                discharged.add(prog.name)
+        assert discharged == EXPECTED_DISCHARGED
+
+    def test_certificate_shape(self):
+        prog = next(p for p in PROGRAMS if p.name == "sct-3")
+        _, result = _discharge(prog)
+        [cert] = result.certificates
+        assert cert.complete
+        assert cert.entry_label in cert.discharged
+        assert cert.decision(cert.entry_label) == SKIP
+        assert cert.decision(-12345) == MONITOR
+        assert "ack" in cert.discharged_names()
+        assert cert.summary()["complete"] is True
+
+    def test_partial_discharge(self):
+        """An SCP failure in one loop leaves an unrelated proven loop
+        discharged — the residual story, not all-or-nothing."""
+        source = """
+        (define (len l) (if (null? l) 0 (+ 1 (len (cdr l)))))
+        (define (spin x) (spin x))
+        (define (main n) (if (zero? n) (len '(1 2)) (spin n)))
+        (main 1)
+        """
+        parsed = parse_program(source)
+        result = discharge_for_run(parsed, text=source)
+        assert not result.complete
+        [cert] = result.certificates
+        by_name = {cert.label_names.get(l, ""): l for l in cert.labels}
+        assert cert.decision(by_name["len"]) == SKIP
+        assert cert.decision(by_name["spin"]) == MONITOR
+        assert cert.decision(by_name["main"]) == MONITOR
+        assert result.policy.decision(by_name["len"]) == SKIP
+
+    def test_taint_blocks_discharge(self):
+        """A lost application (through a box) taints everything — even
+        the λ that would verify in isolation."""
+        source = """
+        (define (good n) (if (zero? n) 0 (good (- n 1))))
+        (define (main n) (begin (((unbox (box good)) n)) (good n)))
+        (main 2)
+        """
+        parsed = parse_program(source)
+        result = discharge_for_run(parsed, text=source)
+        assert not result.policy.skip_labels
+        [cert] = result.certificates
+        assert cert.taint_reasons
+        assert cert.discharged == frozenset()
+
+    def test_opaque_fun_application_blocks_discharge(self):
+        prog = next(p for p in PROGRAMS if p.name == "ho-sct-fold")
+        _, result = _discharge(prog)
+        [cert] = result.certificates
+        assert any("opponent" in r for r in cert.taint_reasons)
+        assert not result.policy
+
+    def test_uninferable_workload(self):
+        source = "(define (f x) x) (+ 1 2)"
+        entries, reasons = infer_workload(parse_program(source))
+        assert entries is None and reasons
+
+    def test_policy_intersection(self):
+        mk = lambda disch, labels, taint=(): DischargeCertificate(
+            "e", (), 0, "sc", frozenset(labels), frozenset(disch),
+            frozenset(), tuple(taint), {})
+        # Discharged by one, unreachable in the other: skipped.
+        p = residual_policy([mk({1, 2}, {0, 1, 2}), mk({5}, {5})])
+        assert p.skip_labels == {1, 2, 5}
+        # Monitored by the second: not skipped.
+        p = residual_policy([mk({1}, {0, 1}), mk(set(), {1})])
+        assert p.skip_labels == frozenset()
+        # Any taint empties the policy outright.
+        p = residual_policy([mk({1}, {0, 1}), mk(set(), {9}, ("havoc",))])
+        assert p.skip_labels == frozenset()
+
+
+class TestVerificationCache:
+    def test_memory_hit_and_relabel(self):
+        prog = next(p for p in PROGRAMS if p.name == "lh-tfact")
+        cache = VerificationCache()
+        parsed = parse_program(prog.source)
+        r1 = discharge_for_run(parsed, text=prog.source, cache=cache)
+        assert cache.misses == 1 and cache.hits == 0
+        # A fresh parse carries fresh λ labels; the cached certificate
+        # must relabel, not leak stale ones.
+        reparsed = parse_program(prog.source)
+        r2 = discharge_for_run(reparsed, text=prog.source, cache=cache)
+        assert cache.hits == 1
+        assert r2.complete
+        assert r1.policy.skip_labels != r2.policy.skip_labels or \
+            len(r2.policy.skip_labels) == len(r1.policy.skip_labels)
+        mon = SCMonitor()
+        a = run_program(reparsed, mode="full", monitor=mon,
+                        discharge=r2.policy)
+        assert a.kind == Answer.VALUE and mon.calls_seen == 0
+
+    def test_disk_roundtrip(self, tmp_path):
+        prog = next(p for p in PROGRAMS if p.name == "sct-1")
+        store = str(tmp_path / "certs")
+        c1 = VerificationCache(store)
+        parsed = parse_program(prog.source)
+        discharge_for_run(parsed, text=prog.source, cache=c1)
+        assert c1.misses == 1
+        files = list((tmp_path / "certs").iterdir())
+        assert len(files) == 1
+        data = json.loads(files[0].read_text())
+        assert data["schema"] == "discharge-certificate/v1"
+        assert all(":" in sid for sid in data["discharged"])
+        # A second cache (a "new process") reads the store.
+        c2 = VerificationCache(store)
+        reparsed = parse_program(prog.source)
+        r = discharge_for_run(reparsed, text=prog.source, cache=c2)
+        assert c2.hits == 1 and c2.misses == 0
+        assert r.complete
+        mon = SCMonitor()
+        a = run_program(reparsed, mode="full", monitor=mon,
+                        discharge=r.policy)
+        assert a.kind == Answer.VALUE and mon.calls_seen == 0
+
+    def test_key_distinguishes_inputs(self):
+        k = VerificationCache.key
+        base = k("(f)", "f", ("nat",), None, "sc")
+        assert base != k("(g)", "f", ("nat",), None, "sc")
+        assert base != k("(f)", "f", ("int",), None, "sc")
+        assert base != k("(f)", "f", ("nat",), {"f": "nat"}, "sc")
+        assert base != k("(f)", "f", ("nat",), None, "mc")
+
+    def test_key_depends_on_library_sources(self, monkeypatch):
+        """An on-disk certificate names prelude/contracts λs by position,
+        so it must die with the library text it was computed against."""
+        from repro.analysis import discharge as mod
+
+        base = VerificationCache.key("(f)", "f", ("nat",), None, "sc")
+        monkeypatch.setattr(mod, "_LIBRARIES_DIGEST", "different")
+        assert VerificationCache.key("(f)", "f", ("nat",), None, "sc") != base
+
+
+class TestMonitorSkipSet:
+    def test_should_monitor_and_trivial_policy(self):
+        from repro.values.values import Closure
+        from repro.lang.ast import Lam
+        from repro.sexp.datum import intern
+
+        lam = Lam((intern("x"),), None)
+        clo = Closure(lam, None)
+        mon = SCMonitor(skip_labels={lam.label})
+        assert not mon.should_monitor(clo)
+        assert not mon.trivial_policy()
+        assert mon.trivial_policy(ignore_skip_labels=True)
+        other = SCMonitor()
+        assert other.should_monitor(clo)
+        assert other.trivial_policy()
+
+    def test_policy_is_scoped_to_the_run(self):
+        """run_program(discharge=…) must not leak the policy into a
+        reused monitor: a later run without discharge monitors fully."""
+        prog = next(p for p in PROGRAMS if p.name == "lh-tfact")
+        parsed, result = _discharge(prog)
+        mon = SCMonitor()
+        a = run_program(parsed, mode="full", monitor=mon,
+                        discharge=result.policy)
+        assert a.kind == Answer.VALUE and mon.calls_seen == 0
+        assert mon.skip_labels is None  # restored after the run
+        b = run_program(parsed, mode="full", monitor=mon)
+        assert b.kind == Answer.VALUE and mon.calls_seen > 0
+
+    def test_mc_monitor_inherits_skip_set(self):
+        from repro.mc.monitor import MCMonitor
+        from repro.values.values import Closure
+        from repro.lang.ast import Lam
+        from repro.sexp.datum import intern
+
+        lam = Lam((intern("x"),), None)
+        mon = MCMonitor(skip_labels={lam.label})
+        assert not mon.should_monitor(Closure(lam, None))
+
+
+@pytest.mark.parametrize("prog", PROGRAMS, ids=[p.name for p in PROGRAMS])
+class TestDifferentialCorpus:
+    """Discharged execution is observably identical on every corpus
+    program — fully discharged, partially discharged, or not at all."""
+
+    def test_same_answer(self, prog):
+        parsed, result = _discharge(prog)
+        machines = ("compiled",) if prog.name in _SLOW \
+            else ("compiled", "tree")
+        for machine in machines:
+            mon_full = SCMonitor(measures=prog.measures)
+            full = run_program(parsed, mode="full", monitor=mon_full,
+                               machine=machine, max_steps=30_000_000)
+            mon_dis = SCMonitor(measures=prog.measures)
+            dis = run_program(parsed, mode="full", monitor=mon_dis,
+                              machine=machine, max_steps=30_000_000,
+                              discharge=result.policy)
+            assert dis.kind == full.kind == Answer.VALUE
+            assert write_value(dis.value) == write_value(full.value)
+            assert dis.output == full.output
+            if result.complete and result.policy:
+                assert mon_dis.calls_seen == 0, \
+                    f"{prog.name}/{machine}: discharged run still monitored"
+
+
+@pytest.mark.parametrize("prog", DIVERGING, ids=[d.name for d in DIVERGING])
+class TestDifferentialDiverging:
+    """On programs the verifier cannot discharge, the violation raised
+    under the (attempted) discharge pipeline is byte-identical to full
+    monitoring's — residual enforcement never weakens or reshapes the
+    error."""
+
+    def test_same_violation(self, prog):
+        parsed = parse_program(prog.source)
+        result = discharge_for_run(parsed, text=prog.source,
+                                   result_kinds=None)
+        assert not result.complete, \
+            f"{prog.name}: a diverging program must never fully discharge"
+        for machine in ("compiled", "tree"):
+            full = run_program(parsed, mode="full",
+                               monitor=SCMonitor(measures=prog.measures),
+                               machine=machine, max_steps=3_000_000)
+            dis = run_program(parsed, mode="full",
+                              monitor=SCMonitor(measures=prog.measures),
+                              machine=machine, max_steps=3_000_000,
+                              discharge=result.policy)
+            assert full.kind == Answer.SC_ERROR
+            assert dis.kind == Answer.SC_ERROR
+            assert str(dis.violation) == str(full.violation)

@@ -1,0 +1,193 @@
+"""``@terminating(discharge=...)`` and the keyword/default normalization
+fix.
+
+The discharge tests define their subjects at module level so
+``inspect.getsource`` (which the Python → embedded-language translation
+needs) can see them.
+"""
+
+import pytest
+
+from repro.pyterm import SizeChangeError, terminating
+from repro.pyterm.translate import Untranslatable, translate_function
+
+
+# -- module-level subjects -------------------------------------------------------
+
+
+def plain_fact(n):
+    if n == 0:
+        return 1
+    return n * plain_fact(n - 1)
+
+
+def plain_ack(m, n):
+    if m == 0:
+        return n + 1
+    if n == 0:
+        return plain_ack(m - 1, 1)
+    return plain_ack(m - 1, plain_ack(m, n - 1))
+
+
+def plain_gcd(a, b):
+    if b == 0:
+        return a
+    return plain_gcd(b, a % b)
+
+
+def plain_loop(x):
+    return plain_loop(x)
+
+
+@terminating(discharge="auto", kinds=("nat",))
+def monitored_loop(x):
+    return monitored_loop(x)
+
+
+class TestTranslate:
+    def test_fact_translates(self):
+        source, entry, params = translate_function(plain_fact)
+        assert entry == "plain_fact" and params == ("n",)
+        assert "(define (plain_fact n)" in source
+        assert "(- n 1)" in source
+
+    def test_int_truthiness(self):
+        def f(n):
+            if n:
+                return f(n - 1)
+            return 0
+
+        source, _, _ = translate_function(f)
+        assert "(not (= n 0))" in source
+
+    def test_untranslatable_shapes(self):
+        def has_loop(n):
+            while n:
+                n -= 1
+            return n
+
+        def has_free(n):
+            return other(n)  # noqa: F821
+
+        def has_default(n, d=1):
+            return n
+
+        for bad in (has_loop, has_free, has_default, len):
+            with pytest.raises(Untranslatable):
+                translate_function(bad)
+
+
+class TestDischarge:
+    def test_auto_discharges_fact(self):
+        fact = terminating(plain_fact, discharge="auto", kinds=("nat",),
+                           result_kind="nat")
+        assert fact is plain_fact  # instrumentation dropped entirely
+        assert fact.__sct_discharged__ is True
+        assert fact.__sct_terminating__ is True
+        assert fact(10) == 3628800
+
+    def test_auto_discharges_ack(self):
+        ack = terminating(plain_ack, discharge="auto", kinds=("nat", "nat"),
+                          result_kind="nat")
+        assert ack.__sct_discharged__ is True
+        assert ack(2, 3) == 9
+
+    def test_auto_keeps_monitor_on_gcd(self):
+        gcd = terminating(plain_gcd, discharge="auto", kinds=("nat", "nat"))
+        assert gcd is not plain_gcd
+        assert gcd.__sct_discharged__ is False
+        assert "inconclusive" in gcd.__sct_discharge_reason__
+        assert gcd(48, 18) == 6  # still monitored, still correct
+
+    def test_auto_keeps_monitor_when_untranslatable(self):
+        @terminating(discharge="auto")
+        def total(xs):
+            if not xs:
+                return 0
+            return xs[0] + total(xs[1:])
+
+        # Locally defined: getsource sees the decorated statement, which
+        # is outside the single-plain-function subset — monitored.
+        assert total.__sct_discharged__ is False
+        assert "not translatable" in total.__sct_discharge_reason__
+        assert total([1, 2, 3]) == 6
+
+    def test_monitored_fallback_still_enforces(self):
+        # monitored_loop translates fine but cannot be proven (no
+        # descent), so 'auto' keeps the instrumentation — which fires.
+        assert monitored_loop.__sct_discharged__ is False
+        with pytest.raises(SizeChangeError):
+            monitored_loop(1)
+
+    def test_require_raises_when_unprovable(self):
+        with pytest.raises(ValueError, match="cannot statically verify"):
+            terminating(plain_loop, discharge="require", kinds=("nat",))
+
+    def test_decoration_is_cached(self):
+        from repro.analysis.discharge import default_cache
+
+        cache = default_cache()
+        terminating(plain_fact, discharge="auto", kinds=("nat",),
+                    result_kind="nat")
+        hits = cache.hits
+        terminating(plain_fact, discharge="auto", kinds=("nat",),
+                    result_kind="nat")
+        assert cache.hits == hits + 1
+
+    def test_bad_discharge_value(self):
+        with pytest.raises(ValueError, match="discharge"):
+            terminating(plain_fact, discharge="maybe")
+
+
+class TestKeywordDefaults:
+    def test_defaulted_tail_parameter_alignment(self):
+        """Regression: the entry call leaves the defaulted parameter
+        implicit, the recursion supplies it positionally.  Without
+        ``apply_defaults`` on every call the first tuple is shorter, the
+        descent on ``xs`` lands at a position the previous tuple lacks,
+        and a spurious violation fires."""
+
+        @terminating
+        def walk(a, xs=(1, 2, 3)):
+            if not xs:
+                return a
+            return walk(a, xs[1:])
+
+        assert walk("x") == "x"
+
+    def test_defaulted_middle_parameter_alignment(self):
+        @terminating
+        def step(n, flag=True, acc=0):
+            if n == 0:
+                return acc
+            return step(n - 1, acc=acc + n)
+
+        assert step(5) == 15
+
+    def test_mixed_call_styles_align(self):
+        @terminating
+        def mix(a, b=10, c=0):
+            if a == 0:
+                return b + c
+            if a % 2 == 0:
+                return mix(a - 1, c=c)
+            return mix(a - 1, 10, c)
+
+        assert mix(6) == 10
+
+    def test_real_violations_still_fire_with_defaults(self):
+        @terminating
+        def bad(n, pad=0):
+            return bad(n, pad)
+
+        with pytest.raises(SizeChangeError):
+            bad(3)
+
+    def test_varargs_normalize_consistently(self):
+        @terminating
+        def var(n, *rest):
+            if n == 0:
+                return len(rest)
+            return var(n - 1)
+
+        assert var(3, "a", "b") == 0
