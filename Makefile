@@ -2,7 +2,7 @@ PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
 .PHONY: test bench bench-quick bench-interp bench-interp-smoke \
-	bench-residual bench-residual-smoke docs
+	bench-residual bench-residual-smoke fuzz fuzz-smoke fuzz-nightly docs
 
 # Tier-1 verification: the full claim-backing test suite.
 test:
@@ -31,6 +31,20 @@ bench-residual:
 # The CI smoke variant of the same report.
 bench-residual-smoke:
 	$(PYTHON) -m repro bench residual --smoke
+
+# Differential fuzzing over {tree,compiled} x {bitmask,reference} x
+# {off,monitored,discharged}.  Nonzero exit on any divergence.
+fuzz:
+	$(PYTHON) -m repro fuzz --n 500 --seed 0 --out BENCH_fuzz.json
+
+# The fast PR-blocking smoke (writes BENCH_fuzz.json for the artifact).
+fuzz-smoke:
+	$(PYTHON) -m repro fuzz --n 50 --seed 0 --out BENCH_fuzz.json
+
+# The nightly campaign: bigger N, fresh seed range per week.
+fuzz-nightly:
+	$(PYTHON) -m repro fuzz --n 2000 --seed $(shell date +%U)000 \
+		--archive --out BENCH_fuzz.json
 
 # The documentation set worth (re)reading, in order.
 docs:

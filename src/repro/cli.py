@@ -14,6 +14,10 @@ Subcommands::
     sized bench table1|fig10|divergence|ablation|mc|compose|interp|residual
                 [--scale quick|full] [--smoke] [--out PATH]
     sized corpus [--diverging]
+    sized fuzz [--n N] [--seed S] [--mode both|terminating|diverging]
+               [--matrix full|quick|m:e:p,...] [--fuel N] [--features a,b]
+               [--no-shrink] [--archive] [--json] [--out PATH]
+               [--replay FILE.scm]
 
 ``--mc`` switches the evidence from size-change graphs to monotonicity-
 constraint graphs (the paper's §6.2 future-work extension): counting-up-
@@ -37,6 +41,19 @@ lexical-addressing pass of :mod:`repro.lang.resolve` plus the slot-frame
 machine) or ``tree`` (the direct AST walker).  Both produce identical
 answers; ``sized bench interp`` measures the gap and writes
 ``BENCH_interp.json``.
+
+``fuzz`` drives the property-based differential tester of
+:mod:`repro.fuzz`: seeded generation of terminating- and
+diverging-by-construction programs, the 12-cell
+{tree, compiled} × {bitmask, reference} × {off, monitored, discharged}
+matrix, greedy shrinking, and the ``tests/regressions/`` archive.
+``--replay`` re-runs one archived ``.scm`` repro (or any campaign seed
+via ``--seed S --n 1``).  The exit code gates CI: 0 when every oracle
+check passed, 1 when any divergence was found.
+
+``--fuel`` (run/trace/fuzz) bounds machine steps like ``--max-steps``
+but reports exhaustion distinctly (``FuelExhausted``) — the fuzzer's
+way of observing divergence without hanging.
 """
 
 from __future__ import annotations
@@ -73,6 +90,9 @@ def main(argv: Optional[List[str]] = None) -> int:
                        help="evaluator: lexically-addressed slot-frame "
                             "machine (default) or the tree walker")
     p_run.add_argument("--max-steps", type=int, default=None)
+    p_run.add_argument("--fuel", type=int, default=None,
+                       help="step bound with a distinct FuelExhausted "
+                            "outcome (wins over --max-steps)")
     p_run.add_argument("--discharge", choices=["off", "try", "require"],
                        default="off",
                        help="statically discharge dynamic checks: 'try' "
@@ -117,6 +137,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     p_trace.add_argument("--machine", choices=["compiled", "tree"],
                          default="compiled")
     p_trace.add_argument("--max-steps", type=int, default=None)
+    p_trace.add_argument("--fuel", type=int, default=None)
     p_trace.add_argument("--max-depth", type=int, default=None)
     p_trace.add_argument("--max-nodes", type=int, default=200)
 
@@ -138,6 +159,40 @@ def main(argv: Optional[List[str]] = None) -> int:
     p_corpus = sub.add_parser("corpus", help="list the evaluation corpus")
     p_corpus.add_argument("--diverging", action="store_true")
 
+    p_fuzz = sub.add_parser(
+        "fuzz", help="property-based differential testing over the "
+                     "machine × engine × discharge matrix")
+    p_fuzz.add_argument("--n", type=int, default=100,
+                        help="number of generated programs (default 100)")
+    p_fuzz.add_argument("--seed", type=int, default=0,
+                        help="base seed; program i uses seed+i")
+    p_fuzz.add_argument("--mode",
+                        choices=["both", "terminating", "diverging"],
+                        default="both")
+    p_fuzz.add_argument("--matrix", default="full",
+                        help="'full' (12 cells), 'quick' (4), or a comma "
+                             "list of machine:engine:policy triples")
+    p_fuzz.add_argument("--fuel", type=int, default=None,
+                        help="override the generator's per-program fuel")
+    p_fuzz.add_argument("--features", default=None,
+                        help="comma-subset of the generator features "
+                             "(accumulators,higher-order,contracts,cells,"
+                             "vectors,promises,output)")
+    p_fuzz.add_argument("--no-shrink", action="store_true",
+                        help="report divergences unminimized")
+    p_fuzz.add_argument("--max-shrink", type=int, default=200,
+                        help="shrink attempt budget per divergence")
+    p_fuzz.add_argument("--archive", action="store_true",
+                        help="write minimized repros to tests/regressions/")
+    p_fuzz.add_argument("--json", action="store_true",
+                        help="full FuzzReport JSON on stdout")
+    p_fuzz.add_argument("--out", default=None, metavar="PATH",
+                        help="also write the JSON report to PATH "
+                             "(e.g. BENCH_fuzz.json)")
+    p_fuzz.add_argument("--replay", default=None, metavar="FILE",
+                        help="re-run one archived tests/regressions/*.scm "
+                             "repro instead of generating")
+
     args = parser.parse_args(argv)
     if args.command == "run":
         return _cmd_run(args)
@@ -149,6 +204,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_bench(args)
     if args.command == "corpus":
         return _cmd_corpus(args)
+    if args.command == "fuzz":
+        return _cmd_fuzz(args)
     return 2
 
 
@@ -198,7 +255,8 @@ def _cmd_run(args) -> int:
         policy = result.policy
     answer = run_program(program, mode=args.mode, strategy=args.strategy,
                          monitor=monitor, max_steps=args.max_steps,
-                         machine=args.machine, discharge=policy)
+                         fuel=args.fuel, machine=args.machine,
+                         discharge=policy)
     if answer.output:
         sys.stdout.write(answer.output)
         if not answer.output.endswith("\n"):
@@ -210,10 +268,18 @@ def _cmd_run(args) -> int:
         print(answer.violation, file=sys.stderr)
         return 3
     if answer.kind == Answer.TIMEOUT:
-        print("machine timeout (step budget exhausted)", file=sys.stderr)
+        print(_timeout_message(answer), file=sys.stderr)
         return 4
     print(f"run-time error: {answer.error}", file=sys.stderr)
     return 1
+
+
+def _timeout_message(answer) -> str:
+    from repro.eval.errors import FuelExhausted
+
+    if isinstance(answer.error, FuelExhausted):
+        return str(answer.error)
+    return "machine timeout (step budget exhausted)"
 
 
 def _cmd_verify(args) -> int:
@@ -251,7 +317,7 @@ def _cmd_trace(args) -> int:
     result = trace_source(source,
                           monitor=_make_monitor(args.mc, engine=args.engine),
                           mode=args.mode, max_steps=args.max_steps,
-                          machine=args.machine)
+                          fuel=args.fuel, machine=args.machine)
     print(render_tree(result.roots, max_depth=args.max_depth,
                       max_nodes=args.max_nodes))
     answer = result.answer
@@ -262,7 +328,7 @@ def _cmd_trace(args) -> int:
         print(answer.violation, file=sys.stderr)
         return 3
     if answer.kind == Answer.TIMEOUT:
-        print("machine timeout (step budget exhausted)", file=sys.stderr)
+        print(_timeout_message(answer), file=sys.stderr)
         return 4
     print(f"run-time error: {answer.error}", file=sys.stderr)
     return 1
@@ -331,6 +397,86 @@ def _cmd_corpus(args) -> int:
             paper = "/".join(c or "-" for c in p.paper)
             print(f"{p.name:15s} paper={paper:22s} {p.notes.splitlines()[0]}")
     return 0
+
+
+def _cmd_fuzz(args) -> int:
+    import json
+
+    from repro.fuzz import default_cells, run_fuzz, run_matrix
+
+    cells = default_cells(args.matrix)
+
+    if args.replay:
+        from repro.fuzz.shrink import load_regression
+
+        program = load_regression(args.replay)
+        result = run_matrix(program, cells=cells, fuel=args.fuel)
+        for r in result.cells:
+            print(f"{':'.join(r.cell):40s} {r.kind:10s} "
+                  f"{r.value if r.value is not None else r.violation or r.error or ''}")
+        if result.verdicts:
+            print("verdicts:", " ".join(f"{e}={s}"
+                                        for e, s in result.verdicts.items()))
+        if result.discharge_complete is not None:
+            print(f"discharge-complete: {result.discharge_complete}")
+        if result.divergences:
+            print(f"\n{len(result.divergences)} divergence(s):",
+                  file=sys.stderr)
+            for d in result.divergences:
+                print(f"  [{d.klass}] {d.detail}", file=sys.stderr)
+            return 1
+        print("\nno divergence: all oracle checks passed")
+        return 0
+
+    features = None
+    if args.features is not None:
+        features = tuple(f for f in args.features.split(",") if f)
+
+    def progress(done, total, report):
+        if done % 25 == 0 or done == total:
+            print(f"  {done}/{total} programs, "
+                  f"{len(report.divergences)} divergence(s)",
+                  file=sys.stderr)
+
+    report = run_fuzz(args.n, seed=args.seed, mode=args.mode,
+                      matrix=args.matrix, fuel=args.fuel, features=features,
+                      shrink=not args.no_shrink, max_shrink=args.max_shrink,
+                      progress=progress)
+
+    if args.archive and report.divergences:
+        from repro.fuzz import archive_divergence
+
+        for div in report.divergences:
+            path = archive_divergence(div)
+            print(f"archived {path}", file=sys.stderr)
+
+    payload = report.to_json()
+    if args.out:
+        with open(args.out, "w") as f:
+            json.dump(payload, f, indent=2)
+            f.write("\n")
+        print(f"wrote {args.out}", file=sys.stderr)
+    if args.json:
+        print(json.dumps(payload, indent=2))
+    else:
+        print(f"{report.programs} programs "
+              f"({', '.join(f'{m}={c}' for m, c in sorted(report.by_mode.items()))}) "
+              f"in {report.elapsed:.1f}s "
+              f"({report.programs_per_sec:.1f}/s)")
+        print(f"verified {report.verified}/{report.verify_expected} expected; "
+              f"discharged {report.discharged}/{report.discharge_expected} "
+              f"expected")
+        if report.divergences:
+            print(f"{len(report.divergences)} divergence(s):")
+            for d in report.divergences:
+                print(f"  [{d.klass}] seed={d.program.seed} "
+                      f"mode={d.program.mode}: {d.detail}")
+                if d.shrunk is not None:
+                    print("    shrunk to "
+                          f"{len(d.shrunk)} chars in {d.shrink_steps} steps")
+        else:
+            print("no divergences: every oracle check passed")
+    return 1 if report.divergences else 0
 
 
 if __name__ == "__main__":

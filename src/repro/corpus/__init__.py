@@ -29,6 +29,8 @@ from repro.corpus import interpreter  # noqa: E402,F401
 from repro.corpus import lambda_interp  # noqa: E402,F401
 from repro.corpus import extras  # noqa: E402,F401
 from repro.corpus import classics  # noqa: E402,F401
+from repro.corpus import tower  # noqa: E402,F401
+from repro.corpus import parsers  # noqa: E402,F401
 
 __all__ = [
     "REGISTRY",

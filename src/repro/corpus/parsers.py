@@ -1,0 +1,104 @@
+"""The parser-combinator benchmark: a recursive-descent arithmetic
+grammar built from combinators, with the factor → expr back-edge tied
+by ``delay``/``force`` — the workload that pins the new promise
+support end-to-end.
+
+A parser is a closure from a token list to ``(cons value rest)`` or
+``#f``.  The grammar closures are each constructed *once* (the three
+``delay``ed definitions force to a single closure per level), so
+under the monitor's per-closure identity keying every recursive
+re-entry is a genuine grammar cycle — and each such cycle consumes at
+least one token before re-entering (``factor`` re-enters ``expr``
+only after ``lp``; ``chain-more`` re-enters a parser only after its
+operator token), so the input position descends strictly and the
+monitor stays silent.  Forcing never nests inside another ``force``'s
+dynamic extent (the forced parser is applied *after* ``force``
+returns), so the prelude ``force`` closure never composes with
+itself.
+
+Left-recursion is exactly what this discipline forbids: an
+``expr := expr '+' term`` grammar would re-enter the same closure on
+equal input — the size-change monitor flags it as the potential
+divergence it is.  The iterative ``chainl`` shape is the standard
+combinator-library answer, and here the monitor *enforces* it.
+"""
+
+from repro.corpus.registry import CorpusProgram, register_extra
+
+PARSERS_SOURCE = """
+(define (p-tok t)
+  (lambda (in)
+    (if (null? in)
+        #f
+        (if (eqv? (car in) t) (cons t (cdr in)) #f))))
+
+(define (p-num)
+  (lambda (in)
+    (if (null? in)
+        #f
+        (if (number? (car in)) (cons (car in) (cdr in)) #f))))
+
+(define (p-alt p q)
+  (lambda (in)
+    (let ([r ((force p) in)])
+      (if r r ((force q) in)))))
+
+(define (p-seq3 p q s combine)
+  (lambda (in)
+    (let ([r1 ((force p) in)])
+      (if r1
+          (let ([r2 ((force q) (cdr r1))])
+            (if r2
+                (let ([r3 ((force s) (cdr r2))])
+                  (if r3
+                      (cons (combine (car r1) (car r2) (car r3)) (cdr r3))
+                      #f))
+                #f))
+          #f))))
+
+(define (p-chainl p op combine)
+  (lambda (in)
+    (let ([r ((force p) in)])
+      (if r (chain-more p op combine (car r) (cdr r)) #f))))
+
+(define (chain-more p op combine acc rest)
+  (if (null? rest)
+      (cons acc rest)
+      (if (eqv? (car rest) op)
+          (let ([r ((force p) (cdr rest))])
+            (if r
+                (chain-more p op combine (combine acc (car r)) (cdr r))
+                (cons acc rest)))
+          (cons acc rest))))
+
+(define factor
+  (delay (p-alt (p-num)
+                (p-seq3 (p-tok 'lp) expr (p-tok 'rp)
+                        (lambda (a b c) b)))))
+(define term (delay (p-chainl factor '* (lambda (a b) (* a b)))))
+(define expr (delay (p-chainl term '+ (lambda (a b) (+ a b)))))
+
+(define (parse-arith tokens)
+  (let ([r ((force expr) tokens)])
+    (if (if r (null? (cdr r)) #f)
+        (car r)
+        'parse-error)))
+
+(list (parse-arith '(lp 1 + 2 * lp 3 + 4 rp + 5 rp))
+      (parse-arith '(7 * 3 + 1))
+      (parse-arith '(lp 1 + 2)))
+"""
+
+register_extra(CorpusProgram(
+    name="parsers",
+    source=PARSERS_SOURCE,
+    expected="(20 22 parse-error)",
+    paper=("", "", "", "", ""),
+    ours_static=None,
+    entry=None,
+    notes="Recursive-descent arithmetic via parser combinators; the "
+          "factor→expr grammar back-edge is a delay/force promise.  "
+          "Every grammar cycle consumes a token before re-entry, so the "
+          "input list descends strictly under per-closure keying.",
+    tags=("extra", "parsers", "promises", "higher-order"),
+))

@@ -1,0 +1,124 @@
+"""The interpreter-tower benchmark: a step-indexed mini-Scheme
+evaluator (written in the object language, closures represented as
+vectors) running a *self-applying* evaluator for a smaller arithmetic
+language — three levels of interpretation in one workload.
+
+Why this tower is monitorable where a naive ``eval`` is not: every
+function in the meta-level cycle (``mini-eval`` / ``eval-args`` /
+``mini-apply``) threads a step index as parameter 0 and passes
+``(- k 1)`` on every call, so each size-change graph the monitor
+records carries the strict arc ``0 ↓ 0`` and every composition
+retains it — the step-indexed-semantics trick that makes a total
+evaluator out of a partial one.  Contrast with the ``scheme``
+benchmark (:mod:`repro.corpus.interpreter`), which instead earns
+monitorability structurally by compiling to closures; the two
+benchmarks pin both known answers to "how do you run an interpreter
+under a termination monitor?".
+
+The interpreted subset: numbers, booleans, symbols, ``quote``,
+``if``, fixed-arity ``lambda``, application, and primitives bound in
+an initial environment.  Closures are ``(vector 'clo params body
+env)`` — the vector pins the new vector support end-to-end (size
+tracking, ``equal?``, both machines' printing).  The level-1 program
+is an evaluator ``ev`` that ties recursion by self-application
+``(ev ev expr)``; the level-2 program is arithmetic over
+``add``/``dec``/``ifz``.
+"""
+
+from repro.corpus.registry import CorpusProgram, register_extra
+
+TOWER_SOURCE = """
+(define (env-get r x)
+  (if (null? r)
+      (list 'unbound x)
+      (if (eq? (car (car r)) x)
+          (cadr (car r))
+          (env-get (cdr r) x))))
+
+(define (env-bind r ps vs)
+  (if (null? ps)
+      r
+      (env-bind (cons (list (car ps) (car vs)) r) (cdr ps) (cdr vs))))
+
+(define (prim-apply f vs)
+  (if (eq? f 'add) (+ (car vs) (cadr vs))
+  (if (eq? f 'sub) (- (car vs) (cadr vs))
+  (if (eq? f 'mul) (* (car vs) (cadr vs))
+  (if (eq? f 'zerop) (zero? (car vs))
+  (if (eq? f 'nump) (number? (car vs))
+  (if (eq? f 'eqp) (eq? (car vs) (cadr vs))
+  (if (eq? f 'kar) (car (car vs))
+  (if (eq? f 'kdr) (cdr (car vs))
+      (list 'unknown-prim f))))))))))
+
+(define (mini-eval k e r)
+  (if (zero? k)
+      'out-of-fuel
+      (if (number? e) e
+      (if (boolean? e) e
+      (if (symbol? e) (env-get r e)
+      (if (eq? (car e) 'quote) (cadr e)
+      (if (eq? (car e) 'if)
+          (if (mini-eval (- k 1) (cadr e) r)
+              (mini-eval (- k 1) (caddr e) r)
+              (mini-eval (- k 1) (cadddr e) r))
+      (if (eq? (car e) 'lambda)
+          (vector 'clo (cadr e) (caddr e) r)
+          (mini-apply (- k 1)
+                      (mini-eval (- k 1) (car e) r)
+                      (eval-args (- k 1) (cdr e) r))))))))))
+
+(define (eval-args k es r)
+  (if (zero? k)
+      '()
+      (if (null? es)
+          '()
+          (cons (mini-eval (- k 1) (car es) r)
+                (eval-args (- k 1) (cdr es) r)))))
+
+(define (mini-apply k f vs)
+  (if (zero? k)
+      'out-of-fuel
+      (if (vector? f)
+          (mini-eval (- k 1)
+                     (vector-ref f 2)
+                     (env-bind (vector-ref f 3) (vector-ref f 1) vs))
+          (prim-apply f vs))))
+
+(define prims
+  '((add add) (sub sub) (mul mul) (zerop zerop) (nump nump)
+    (eqp eqp) (kar kar) (kdr kdr)))
+
+(mini-eval 100000
+           '((lambda (ev)
+               (ev ev (quote (add (add 1 (dec 3))
+                                  (ifz (dec 1) (dec 9) 4)))))
+             (lambda (self e)
+               (if (nump e)
+                   e
+                   (if (eqp (kar e) (quote add))
+                       (add (self self (kar (kdr e)))
+                            (self self (kar (kdr (kdr e)))))
+                       (if (eqp (kar e) (quote dec))
+                           (sub (self self (kar (kdr e))) 1)
+                           (if (zerop (self self (kar (kdr e))))
+                               (self self (kar (kdr (kdr e))))
+                               (self self (kar (kdr (kdr (kdr e)))))))))))
+           prims)
+"""
+
+register_extra(CorpusProgram(
+    name="tower",
+    source=TOWER_SOURCE,
+    expected="11",
+    paper=("", "", "", "", ""),
+    ours_static=True,
+    entry=("mini-eval", ["nat", "any", "any"]),
+    notes="Step-indexed mini-Scheme evaluator (vector closures) running "
+          "a self-applying evaluator for an add/dec/ifz language.  The "
+          "threaded step index gives both the monitor and the verifier "
+          "a strict 0↓0 arc on every meta-level cycle — the step-"
+          "indexed-semantics trick makes an interpreter, the hostile "
+          "case for SCT, fully verifiable.",
+    tags=("extra", "interpreter", "vectors", "tower"),
+))

@@ -38,3 +38,17 @@ class MachineTimeout(Exception):
     def __init__(self, steps: int):
         super().__init__(f"machine exceeded {steps} steps")
         self.steps = steps
+
+
+class FuelExhausted(MachineTimeout):
+    """The *fuel* knob's distinct outcome: a deterministic step budget ran
+    dry (``run_program(..., fuel=N)`` / ``sized run --fuel N``).
+
+    Subclassing :class:`MachineTimeout` keeps every existing ``except
+    MachineTimeout`` / ``Answer.TIMEOUT`` path working; the differential
+    fuzzer catches this type specifically so a budgeted diverging program
+    is distinguishable from any other non-value outcome."""
+
+    def __init__(self, steps: int):
+        super().__init__(steps)
+        self.args = (f"fuel exhausted after {steps} steps",)

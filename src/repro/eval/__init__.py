@@ -20,7 +20,7 @@ snapshots live in continuation frames, tail calls preserved) and
 grows the continuation on tail calls).
 """
 
-from repro.eval.errors import MachineTimeout, SchemeError
+from repro.eval.errors import FuelExhausted, MachineTimeout, SchemeError
 from repro.eval.machine import (
     Answer,
     compile_code,
@@ -32,6 +32,7 @@ from repro.eval.machine import (
 )
 
 __all__ = [
+    "FuelExhausted",
     "MachineTimeout",
     "SchemeError",
     "Answer",

@@ -1,5 +1,5 @@
 """Re-exports of the run-time error types (see :mod:`repro.errors`)."""
 
-from repro.errors import MachineTimeout, SchemeError
+from repro.errors import FuelExhausted, MachineTimeout, SchemeError
 
-__all__ = ["MachineTimeout", "SchemeError"]
+__all__ = ["FuelExhausted", "MachineTimeout", "SchemeError"]

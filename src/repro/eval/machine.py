@@ -42,7 +42,7 @@ import weakref
 from typing import List, Optional
 
 from repro.ds.hamt import Hamt
-from repro.eval.errors import MachineTimeout, SchemeError
+from repro.eval.errors import FuelExhausted, MachineTimeout, SchemeError
 from repro.lang import ast, libraries
 from repro.lang.parser import parse_program
 from repro.lang.prims import PRIMITIVES
@@ -191,7 +191,7 @@ def eval_expr(
             steps_left -= 1
             if steps_left < 0:
                 fuel.left = 0
-                raise MachineTimeout(fuel.limit or 0)
+                raise FuelExhausted(fuel.limit or 0)
 
         if not returning:
             k = control.kind
@@ -630,7 +630,7 @@ def eval_code(
             steps_left -= 1
             if steps_left < 0:
                 fuel.left = 0
-                raise MachineTimeout(fuel.limit or 0)
+                raise FuelExhausted(fuel.limit or 0)
 
         if not returning:
             t = control.tag
@@ -1081,12 +1081,20 @@ def run_program(
     strategy: str = "cm",
     monitor: Optional[SCMonitor] = None,
     max_steps: Optional[int] = None,
+    fuel: Optional[int] = None,
     env: Optional[GlobalEnv] = None,
     include_prelude: bool = True,
     machine: str = "compiled",
     discharge=None,
 ) -> Answer:
     """Run a whole program; the answer holds the last expression's value.
+
+    ``fuel`` is the preferred spelling of the step budget (``max_steps``
+    remains as an alias; ``fuel`` wins if both are given).  When the budget
+    runs dry the machines raise :class:`FuelExhausted` and the answer has
+    ``kind == Answer.TIMEOUT`` with the exception on ``answer.error``, so a
+    deterministic fuel bound is distinguishable from every other non-value
+    outcome.
 
     ``mode``: ``'off'`` (standard ⇓), ``'contract'`` (λCSCT), ``'full'``
     (λSCT).  ``strategy``: ``'cm'`` or ``'imperative'``.  ``machine``:
@@ -1101,6 +1109,8 @@ def run_program(
     extended in place) covers the tree machine.
     """
     _check_machine(machine)
+    if fuel is not None:
+        max_steps = fuel
     if env is None:
         env = make_env(include_prelude, machine=machine)
     else:
@@ -1162,8 +1172,8 @@ def run_program(
         return Answer(Answer.RT_ERROR, error=exc, output="".join(output))
     except SizeChangeViolation as exc:
         return Answer(Answer.SC_ERROR, violation=exc, output="".join(output))
-    except MachineTimeout:
-        return Answer(Answer.TIMEOUT, output="".join(output))
+    except MachineTimeout as exc:
+        return Answer(Answer.TIMEOUT, error=exc, output="".join(output))
     finally:
         monitor.skip_labels = saved_skip_labels
     if max_steps is not None:
@@ -1178,6 +1188,7 @@ def run_source(
     strategy: str = "cm",
     monitor: Optional[SCMonitor] = None,
     max_steps: Optional[int] = None,
+    fuel: Optional[int] = None,
     env: Optional[GlobalEnv] = None,
     include_prelude: bool = True,
     source: str = "<program>",
@@ -1188,7 +1199,8 @@ def run_source(
     program = parse_program(text, source=source)
     return run_program(
         program, mode=mode, strategy=strategy, monitor=monitor,
-        max_steps=max_steps, env=env, include_prelude=include_prelude,
+        max_steps=max_steps, fuel=fuel, env=env,
+        include_prelude=include_prelude,
         machine=machine, discharge=discharge,
     )
 

@@ -94,8 +94,11 @@ S_EQUAL_P = intern("equal?")
 S_MEMV = intern("memv")
 S_ERROR = intern("error")
 S_NOT = intern("not")
+S_DELAY = intern("delay")
+S_PROMISE_PRIM = intern("%promise")
 
 _SPECIAL_FORMS = {
+    S_DELAY,
     S_QUOTE,
     S_QUASIQUOTE,
     S_UNQUOTE,
@@ -230,6 +233,17 @@ def _parse_lambda(stx: Syntax) -> ast.Node:
     params = _parse_params(d[1].datum)
     body = parse_body(d[2:], stx.loc)
     return ast.Lam(params, body, loc=stx.loc)
+
+
+def _parse_delay(stx: Syntax) -> ast.Node:
+    # ``(delay e)`` ⇒ ``(%promise (λ () e))``: the thunk is an ordinary λ,
+    # so forcing it later is an ordinary monitored call (no primitive ever
+    # invokes a closure — ``force`` itself is a prelude definition).
+    d = stx.datum
+    if len(d) != 2:
+        raise ParseError("delay expects exactly one expression", stx.loc)
+    thunk = ast.Lam((), parse_expr(d[1]), name="delayed", loc=stx.loc)
+    return ast.App(ast.Var(S_PROMISE_PRIM), (thunk,), stx.loc)
 
 
 def _parse_if(stx: Syntax) -> ast.Node:
@@ -758,6 +772,7 @@ _FORMS = {
     S_LETREC: _parse_letrec,
     S_LETRECSTAR: _parse_letrec,
     S_SET: _parse_set,
+    S_DELAY: _parse_delay,
     S_MATCH: _parse_match,
     S_TERMC: _parse_termc,
     S_TERMINATING_C: _parse_termc,

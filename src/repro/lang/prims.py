@@ -26,7 +26,9 @@ from repro.values.values import (
     HashValue,
     Pair,
     Prim,
+    Promise,
     TermWrapped,
+    Vector,
     is_list_value,
     list_to_python,
     python_to_list,
@@ -337,6 +339,65 @@ def _p_hash_ref(args):
     return value
 
 
+# -- vectors -------------------------------------------------------------------
+
+
+def _vec(v, who: str) -> Vector:
+    if type(v) is Vector:
+        return v
+    raise SchemeError(f"{who}: expected a vector, got {write_value(v)}")
+
+
+def _p_make_vector(args):
+    n = _int(args[0], "make-vector")
+    if n < 0:
+        raise SchemeError("make-vector: expected a non-negative length")
+    fill = args[1] if len(args) == 2 else 0
+    return Vector((fill,) * n)
+
+
+def _p_vector_ref(args):
+    v = _vec(args[0], "vector-ref")
+    i = _int(args[1], "vector-ref")
+    if not (0 <= i < len(v.items)):
+        raise SchemeError(
+            f"vector-ref: index {i} out of range for length {len(v.items)}")
+    return v.items[i]
+
+
+def _p_vector_set(args):
+    v = _vec(args[0], "vector-set")
+    i = _int(args[1], "vector-set")
+    if not (0 <= i < len(v.items)):
+        raise SchemeError(
+            f"vector-set: index {i} out of range for length {len(v.items)}")
+    return Vector(v.items[:i] + (args[2],) + v.items[i + 1:])
+
+
+# -- promises ------------------------------------------------------------------
+#
+# ``(delay e)`` parses to ``(%promise (λ () e))`` and ``force`` is a
+# prelude closure: a primitive must never invoke a closure (the discharge
+# pipeline's define-time safety check relies on that), so the cell
+# operations below are the whole primitive surface and the actual thunk
+# call happens in monitored object-language code.
+
+
+def _promise(v, who: str) -> Promise:
+    if type(v) is Promise:
+        return v
+    raise SchemeError(f"{who}: expected a promise, got {write_value(v)}")
+
+
+def _p_promise_memo(args):
+    p = _promise(args[0], "%promise-memo!")
+    if not p.forced:
+        p.value = args[1]
+        p.forced = True
+        p.thunk = None  # the thunk (and its captured frame) is dead now
+    return p.value
+
+
 # -- misc -------------------------------------------------------------------------
 
 
@@ -475,6 +536,36 @@ _prim("unbox", 1, 1, lambda a: a[0].value if type(a[0]) is Box
       else _raise(SchemeError("unbox: expected a box")))
 _prim("set-box!", 2, 2, lambda a: _set_box(a), pure=False)
 
+# vectors (immutable; vector-set is a functional update)
+_prim("vector", 0, None, lambda a: Vector(tuple(a)))
+_prim("vector?", 1, 1, lambda a: type(a[0]) is Vector)
+_prim("make-vector", 1, 2, _p_make_vector)
+_prim("vector-length", 1, 1,
+      lambda a: len(_vec(a[0], "vector-length").items))
+_prim("vector-ref", 2, 2, _p_vector_ref)
+_prim("vector-set", 3, 3, _p_vector_set)
+_prim("vector->list", 1, 1,
+      lambda a: python_to_list(_vec(a[0], "vector->list").items))
+_prim("list->vector", 1, 1,
+      lambda a: Vector(tuple(list_to_python(a[0])))
+      if is_list_value(a[0])
+      else _raise(SchemeError("list->vector: expected a list")))
+
+# promises (the cell half of delay/force; the thunk call is in the prelude)
+_prim("%promise", 1, 1,
+      lambda a: Promise(a[0]) if _is_procedure(a[0])
+      else _raise(SchemeError("%promise: expected a procedure")))
+_prim("promise?", 1, 1, lambda a: type(a[0]) is Promise)
+_prim("%promise-forced?", 1, 1,
+      lambda a: _promise(a[0], "%promise-forced?").forced)
+_prim("%promise-value", 1, 1,
+      lambda a: _promise(a[0], "%promise-value").value
+      if _promise(a[0], "%promise-value").forced
+      else _raise(SchemeError("%promise-value: promise not yet forced")))
+_prim("%promise-thunk", 1, 1,
+      lambda a: _promise(a[0], "%promise-thunk").thunk)
+_prim("%promise-memo!", 2, 2, _p_promise_memo, pure=False)
+
 # misc
 _prim("void", 0, None, _p_void)
 _prim("error", 1, None, _p_error)
@@ -533,11 +624,18 @@ PRELUDE_SOURCE = """
   (let ([hit (assoc k al)]) (if hit (cdr hit) d)))
 (define (last l)
   (if (null? (cdr l)) (car l) (last (cdr l))))
+(define (force p)
+  (if (promise? p)
+      (if (%promise-forced? p)
+          (%promise-value p)
+          (%promise-memo! p ((%promise-thunk p))))
+      p))
 """
 
 _PRELUDE_NAMES = [
     "map", "map2", "for-each", "filter", "foldr", "foldl", "andmap",
     "ormap", "iota", "range", "build-list", "assoc-ref", "last",
+    "force",
 ]
 
 

@@ -10,7 +10,7 @@ rejected in O(1).
 from __future__ import annotations
 
 from repro.sexp.datum import Char, Symbol
-from repro.values.values import NIL, HashValue, Pair
+from repro.values.values import NIL, HashValue, Pair, Vector
 
 
 def scheme_eqv(a, b) -> bool:
@@ -54,6 +54,12 @@ def scheme_equal(a, b) -> bool:
             return a == b
         if ta is HashValue:
             return _hash_equal(a, b)
+        if ta is Vector:
+            if len(a.items) != len(b.items) or a.size != b.size \
+                    or a.hash != b.hash:
+                return False
+            return all(scheme_equal(x, y)
+                       for x, y in zip(a.items, b.items))
         return scheme_eqv(a, b)
 
 
@@ -80,6 +86,8 @@ def value_hash(v) -> int:
         return v.hash
     if t is HashValue:
         return v.hash_code
+    if t is Vector:
+        return v.hash
     if t is bool:
         return 7 if v else 11
     if t is int:

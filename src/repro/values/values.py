@@ -60,6 +60,8 @@ def _value_size(v) -> int:
         return 0
     if type(v) is HashValue:
         return v.size
+    if type(v) is Vector:
+        return v.size
     return 1
 
 
@@ -68,6 +70,8 @@ def _value_hash(v) -> int:
         return v.hash
     if type(v) is HashValue:
         return v.hash_code
+    if type(v) is Vector:
+        return v.hash
     try:
         return hash(v)
     except TypeError:
@@ -276,6 +280,53 @@ class Box:
         return f"#&{write_value(self.value)}"
 
 
+class Vector:
+    """An immutable vector with memoized size and structural hash.
+
+    Immutability keeps the well-founded size order sound (a vector's size
+    can never change under a monitored extent, exactly like pairs);
+    ``vector-set`` is a functional update returning a new vector.
+    """
+
+    __slots__ = ("items", "size", "hash")
+
+    def __init__(self, items: Tuple):
+        self.items = tuple(items)
+        size = 1
+        code = 0x9E3779B9
+        for item in self.items:
+            size += _value_size(item)
+            code = (code * 1000003 ^ _value_hash(item)) & 0x7FFFFFFF
+        self.size = size
+        self.hash = code
+
+    def __repr__(self) -> str:
+        return write_value(self)
+
+
+class Promise:
+    """A ``delay``ed computation (``(delay e)`` / ``(force p)``).
+
+    The thunk is an ordinary closure, so forcing it is an ordinary —
+    monitored — closure call; a promise only adds the memo cell.  The
+    ``force`` driver lives in the prelude (object language) because no
+    primitive may invoke a closure; the primitives here just read and
+    write the cell.
+    """
+
+    __slots__ = ("thunk", "value", "forced")
+
+    def __init__(self, thunk):
+        self.thunk = thunk
+        self.value = None
+        self.forced = False
+
+    def __repr__(self) -> str:
+        if self.forced:
+            return f"#<promise!{write_value(self.value)}>"
+        return "#<promise>"
+
+
 def size_of(v) -> Optional[int]:
     """The default well-founded size of a value, or ``None`` if the value
     has no well-founded size (floats: ``|x| < |y|`` admits infinite descent).
@@ -381,4 +432,11 @@ def write_value(v) -> str:
             for k, val in v.table.items()
         )
         return f"#hash({inner})"
+    if isinstance(v, Vector):
+        return "#(" + " ".join(write_value(x) for x in v.items) + ")"
+    if isinstance(v, Promise):
+        # Deliberately opaque about the memoized value: two runs must
+        # print the same text whether or not a promise happens to have
+        # been forced before the answer was rendered.
+        return "#<promise>"
     return repr(v)

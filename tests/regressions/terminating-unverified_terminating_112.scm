@@ -1,0 +1,29 @@
+;; sized-fuzz regression (replay: sized fuzz --replay <this file>)
+;; class: terminating-unverified
+;; seed: 112
+;; mode: terminating
+;; entry: f0
+;; entry-kinds: pair nat
+;; must-verify: #f
+;; must-discharge: #f
+;; fuel: 2000000
+;; detail: campaign seed=0 n=500: the self-call rebinds the accumulator
+;;   a00 through a havoc wrap (vector-ref), so after one iteration a00's
+;;   kind is gone; the cross-call (f1 (* a00 2)) then passes an unknown
+;;   into f1's descent position and the entry cannot verify, even though
+;;   the descent-position *expression* carries no havoc wrap itself.
+;;   Second-order version of the 1190/1360/... hole: kind-stability of a
+;;   descent argument depends on every cycle rebind of the variables it
+;;   references, not just on its own shape.  Generator fixed to reference
+;;   only parameter 0 (always rebound kind-preservingly) in transparent
+;;   mode; oracle here corrected to must-verify #f.
+
+(define (f0 l0 a00)
+  (if (null? l0)
+      2
+      (+ (f1 (* a00 2)) (f0 (cdr l0) (vector-ref (vector 0 2 (+ a00 1)) 2)))))
+(define (f1 n1)
+  (if (zero? n1)
+      8
+      (+ 2 (f1 (- n1 1)))))
+(f0 '(2 3 4) 0)

@@ -1,0 +1,25 @@
+;; sized-fuzz regression (replay: sized fuzz --replay <this file>)
+;; class: terminating-unverified
+;; seed: 1360
+;; mode: terminating
+;; entry: f0
+;; entry-kinds: pair fun
+;; must-verify: #f
+;; must-discharge: #f
+;; fuel: 2000000
+;; detail: campaign seed=1000 n=1500: (vector-ref (vector 3 2 (length
+;;   l0)) 2) in the descent position of the cross-call to f1 — the
+;;   engine does not model vector-ref, so f1's parameter 0 havocs and
+;;   the entry is unverifiable.  The higher-order entry parameter also
+;;   (independently, by design) keeps the program from discharging.
+
+(define (f0 l0 h0)
+  (if (null? l0)
+      2
+      (+ (f1 (vector-ref (vector 3 2 (length l0)) 2))
+         (f0 (cdr l0) (lambda (x) x)))))
+(define (f1 n1)
+  (if (zero? n1)
+      9
+      (+ 1 (f1 (- n1 1)))))
+(f0 '(2) (lambda (x) (+ (* x x) 1)))

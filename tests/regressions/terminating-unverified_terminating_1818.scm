@@ -1,0 +1,24 @@
+;; sized-fuzz regression (replay: sized fuzz --replay <this file>)
+;; class: terminating-unverified
+;; seed: 1818
+;; mode: terminating
+;; entry: f0
+;; entry-kinds: pair
+;; must-verify: #f
+;; must-discharge: #f
+;; fuel: 2000000
+;; detail: campaign seed=1000 n=1500: (unbox (box 0)) in the descent
+;;   position of the cross-call to f1 havocs f1's parameter 0, so the
+;;   entry cannot verify even though every run is monitor-silent.  The
+;;   contract wrap on f1's recursive branch is innocent (contract wraps
+;;   alone verify fine).  Oracle corrected to must-verify #f.
+
+(define (f0 l0)
+  (if (null? l0)
+      0
+      (+ (f1 (unbox (box 0))) (f0 (cdr l0)))))
+(define (f1 n1)
+  (if (zero? n1)
+      5
+      ((terminating/c (lambda (r) r) "gen-f1") (+ 3 (f1 (- n1 1))))))
+(f0 '(1))

@@ -1,0 +1,26 @@
+;; sized-fuzz regression (replay: sized fuzz --replay <this file>)
+;; class: terminating-unverified
+;; seed: 1942
+;; mode: terminating
+;; entry: f0
+;; entry-kinds: pair
+;; must-verify: #f
+;; must-discharge: #f
+;; fuel: 2000000
+;; detail: campaign seed=1000 n=1500 reported "expected VERIFIED, got
+;;   unknown": the generator passed (force (delay 0)) in the descent
+;;   position of a cross-DAG call, so the symbolic engine havocs f1's
+;;   parameter 0 and its (- n1 1) descent is unprovable.  The generator
+;;   now keeps cross-call descent arguments transparent; this archive
+;;   pins the correct oracle for the old shape: terminating, monitor-
+;;   silent, 12-cell byte-identical, but NOT verifiable.
+
+(define (f0 l0)
+  (if (null? l0)
+      0
+      (+ (f1 (force (delay 0))) (f0 (cdr l0)))))
+(define (f1 n1)
+  (if (zero? n1)
+      0
+      (+ 2 (f1 (- n1 1)))))
+(f0 '(0))

@@ -1,0 +1,69 @@
+"""The ``fuel`` knob: a step bound whose exhaustion is a *distinct*
+outcome (:class:`~repro.eval.errors.FuelExhausted`) while remaining a
+``MachineTimeout`` subclass, so every existing ``Answer.TIMEOUT``
+consumer keeps working unchanged."""
+
+import pytest
+
+from repro.eval import FuelExhausted, MachineTimeout
+from repro.eval.machine import Answer, run_source
+from repro.lang.parser import parse_program
+from repro.eval.machine import run_program
+
+LOOP = "(define (spin n) (spin (+ n 1)))\n(spin 0)\n"
+QUICK = "(define (f n) (if (zero? n) 42 (f (- n 1))))\n(f 10)\n"
+
+MACHINES = ("tree", "compiled")
+
+
+@pytest.mark.parametrize("machine", MACHINES)
+class TestFuel:
+    def test_exhaustion_is_timeout_kind(self, machine):
+        a = run_source(LOOP, mode="off", fuel=5_000, machine=machine)
+        assert a.kind == Answer.TIMEOUT
+        assert isinstance(a.error, FuelExhausted)
+        assert isinstance(a.error, MachineTimeout)
+        assert "fuel exhausted" in str(a.error)
+
+    def test_ample_fuel_returns_value(self, machine):
+        a = run_source(QUICK, mode="off", fuel=1_000_000, machine=machine)
+        assert a.kind == Answer.VALUE and a.value == 42
+
+    def test_fuel_wins_over_max_steps(self, machine):
+        a = run_source(LOOP, mode="off", fuel=5_000,
+                       max_steps=50_000_000, machine=machine)
+        assert a.kind == Answer.TIMEOUT
+        assert isinstance(a.error, FuelExhausted)
+
+    def test_run_program_accepts_fuel(self, machine):
+        program = parse_program(LOOP, source="<fuel-test>")
+        a = run_program(program, mode="off", fuel=5_000, machine=machine)
+        assert a.kind == Answer.TIMEOUT
+        assert isinstance(a.error, FuelExhausted)
+
+    def test_monitored_run_accepts_fuel(self, machine):
+        a = run_source(QUICK, mode="full", fuel=1_000_000, machine=machine)
+        assert a.kind == Answer.VALUE and a.value == 42
+
+
+class TestFuelCli:
+    def test_run_fuel_exit_code_and_message(self, tmp_path, capsys):
+        from repro.cli import main
+
+        f = tmp_path / "loop.scm"
+        f.write_text(LOOP)
+        code = main(["run", str(f), "--mode", "off", "--fuel", "5000"])
+        assert code == 4
+        assert "fuel exhausted" in capsys.readouterr().err
+
+    def test_max_steps_alias_same_exit_code(self, tmp_path, capsys):
+        """--max-steps is an alias for the same budget: exit code 4
+        either way (the paper-era spelling keeps working)."""
+        from repro.cli import main
+
+        f = tmp_path / "loop.scm"
+        f.write_text(LOOP)
+        code = main(["run", str(f), "--mode", "off",
+                     "--max-steps", "5000"])
+        assert code == 4
+        assert "exhausted" in capsys.readouterr().err

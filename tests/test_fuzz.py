@@ -1,0 +1,174 @@
+"""The fuzz subsystem: generator discipline, differential oracle,
+shrinker, and the regression archive format."""
+
+import pytest
+
+from repro.eval.machine import Answer
+from repro.fuzz import (
+    ALL_FEATURES,
+    Divergence,
+    archive_divergence,
+    default_cells,
+    generate_program,
+    run_fuzz,
+    run_matrix,
+    shrink_divergence,
+)
+from repro.fuzz.gen import GenProgram
+from repro.fuzz.shrink import load_regression, parse_forms, render_forms
+
+
+class TestGenerator:
+    def test_deterministic_by_seed(self):
+        for mode in ("terminating", "diverging"):
+            a = generate_program(7, mode)
+            b = generate_program(7, mode)
+            assert a.source == b.source
+            assert a.entry == b.entry
+            assert a.entry_kinds == b.entry_kinds
+            assert a.features == b.features
+            assert a.must_verify == b.must_verify
+            assert a.must_discharge == b.must_discharge
+
+    def test_seeds_vary(self):
+        sources = {generate_program(s, "terminating").source
+                   for s in range(20)}
+        assert len(sources) > 10
+
+    def test_oracle_flags(self):
+        t = generate_program(3, "terminating")
+        assert t.must_verify
+        d = generate_program(3, "diverging")
+        assert not d.must_verify and not d.must_discharge
+
+    def test_feature_restriction(self):
+        p = generate_program(5, "terminating", features=())
+        assert p.features == ()
+        with pytest.raises(ValueError):
+            generate_program(0, "terminating", features=("warp",))
+        with pytest.raises(ValueError):
+            generate_program(0, "sideways")
+
+    def test_features_eventually_all_used(self):
+        used = set()
+        for s in range(120):
+            used |= set(generate_program(s, "terminating").features)
+        assert used == set(ALL_FEATURES)
+
+
+class TestCells:
+    def test_full_is_twelve(self):
+        assert len(default_cells("full")) == 12
+
+    def test_quick_covers_axes(self):
+        cells = default_cells("quick")
+        assert {c[0] for c in cells} == {"tree", "compiled"}
+        assert {c[1] for c in cells} == {"bitmask", "reference"}
+        assert {c[2] for c in cells} == {"off", "monitored", "discharged"}
+
+    def test_explicit_spec(self):
+        assert default_cells("tree:bitmask:off") == [
+            ("tree", "bitmask", "off")]
+        with pytest.raises(ValueError):
+            default_cells("tree:bitmask")
+        with pytest.raises(ValueError):
+            default_cells("tree:warp:off")
+
+
+class TestMatrixOracle:
+    def test_terminating_program_clean(self):
+        program = generate_program(0, "terminating")
+        result = run_matrix(program)
+        assert result.divergences == []
+        assert all(r.kind == Answer.VALUE for r in result.cells)
+
+    def test_diverging_program_clean(self):
+        program = generate_program(1, "diverging")
+        result = run_matrix(program)
+        assert result.divergences == []
+        off = [r for r in result.cells if r.cell[2] == "off"]
+        assert off and all(r.kind == Answer.TIMEOUT for r in off)
+        assert set(result.verdicts.values()) == {"unknown"}
+
+    def test_parse_error_is_a_divergence(self):
+        program = GenProgram(seed=0, mode="terminating", source="(((",
+                             entry="f", entry_kinds=("nat",), features=(),
+                             must_verify=False, must_discharge=False,
+                             fuel=1000)
+        result = run_matrix(program)
+        assert [d.klass for d in result.divergences] == ["parse-error"]
+
+    def test_oracle_catches_lying_mode(self):
+        """A terminating program labelled 'diverging' must trip the
+        diverging-side oracle checks — this is the self-test that the
+        differential harness actually looks at its observables."""
+        program = _lying_diverging()
+        result = run_matrix(program)
+        classes = {d.klass for d in result.divergences}
+        assert "diverging-survived" in classes
+        assert "diverging-verified" in classes
+
+
+def _lying_diverging() -> GenProgram:
+    return GenProgram(
+        seed=99, mode="diverging",
+        source="(define (f n)\n  (if (zero? n) 0 (f (- n 1))))\n(f 3)\n",
+        entry="f", entry_kinds=("nat",), features=(),
+        must_verify=False, must_discharge=False, fuel=50_000)
+
+
+class TestFuzzCampaign:
+    def test_small_campaign_clean(self):
+        report = run_fuzz(8, seed=0, mode="both", matrix="quick",
+                          shrink=False)
+        assert report.programs == 8
+        assert report.by_mode == {"terminating": 4, "diverging": 4}
+        assert report.divergences == []
+        assert report.verified == report.verify_expected
+        assert report.discharged == report.discharge_expected
+
+    def test_report_json_schema(self):
+        report = run_fuzz(2, seed=0, matrix="quick", shrink=False)
+        payload = report.to_json()
+        assert payload["schema"] == "sized-fuzz/v1"
+        assert payload["programs"] == 2
+        assert payload["divergences_found"] == 0
+        assert "programs_per_sec" in payload
+
+
+class TestShrinker:
+    def test_forms_round_trip(self):
+        text = "(define (f n)\n  (if (zero? n) 0 (f (- n 1))))\n(f 3)\n"
+        assert parse_forms(render_forms(parse_forms(text))) == \
+            parse_forms(text)
+
+    def test_shrinks_synthetic_divergence(self):
+        cells = default_cells("quick")
+        program = _lying_diverging()
+        result = run_matrix(program, cells=cells)
+        div = next(d for d in result.divergences
+                   if d.klass == "diverging-survived")
+        shrunk = shrink_divergence(div, cells=cells, max_attempts=40)
+        assert len(shrunk) <= len(program.source)
+        # The minimized repro still exhibits the class.
+        replay = GenProgram(seed=program.seed, mode=program.mode,
+                            source=shrunk, entry=program.entry,
+                            entry_kinds=program.entry_kinds, features=(),
+                            must_verify=False, must_discharge=False,
+                            fuel=program.fuel)
+        again = run_matrix(replay, cells=cells)
+        assert any(d.klass == "diverging-survived"
+                   for d in again.divergences)
+
+    def test_archive_round_trip(self, tmp_path):
+        program = _lying_diverging()
+        div = Divergence("diverging-survived", "synthetic: terminates",
+                        program)
+        path = archive_divergence(div, directory=str(tmp_path))
+        loaded = load_regression(path)
+        assert loaded.mode == program.mode
+        assert loaded.entry == program.entry
+        assert loaded.entry_kinds == program.entry_kinds
+        assert loaded.fuel == program.fuel
+        assert loaded.must_verify == program.must_verify
+        assert parse_forms(loaded.source) == parse_forms(program.source)

@@ -1,0 +1,127 @@
+"""The PR-6 language additions: ``delay``/``force`` promises and
+immutable vectors — byte-identical across both machines and inert
+under the monitor when used with descending loops."""
+
+import pytest
+
+from repro.eval.machine import Answer, run_source
+from repro.values.values import write_value
+
+MACHINES = ("tree", "compiled")
+
+
+def run_both(source, **kw):
+    answers = {}
+    for machine in MACHINES:
+        answers[machine] = run_source(source, machine=machine, **kw)
+    a, b = answers["tree"], answers["compiled"]
+    assert a.kind == b.kind, (a.kind, b.kind, a.error, b.error)
+    if a.kind == Answer.VALUE:
+        assert write_value(a.value) == write_value(b.value)
+    if a.kind == Answer.SC_ERROR:
+        assert str(a.violation) == str(b.violation)
+    assert a.output == b.output
+    return a
+
+
+class TestPromises:
+    def test_delay_is_lazy(self):
+        a = run_both("""
+(define b (box 0))
+(define p (delay (begin (set-box! b (+ (unbox b) 1)) 5)))
+(unbox b)
+""", mode="off")
+        assert a.value == 0
+
+    def test_force_memoizes(self):
+        a = run_both("""
+(define b (box 0))
+(define p (delay (begin (set-box! b (+ (unbox b) 1)) 5)))
+(list (force p) (force p) (unbox b))
+""", mode="off")
+        assert write_value(a.value) == "(5 5 1)"
+
+    def test_force_non_promise_is_identity(self):
+        a = run_both("(list (force 7) (force '(1 2)))", mode="off")
+        assert write_value(a.value) == "(7 (1 2))"
+
+    def test_promise_predicate(self):
+        a = run_both("(list (promise? (delay 1)) (promise? 1))", mode="off")
+        assert write_value(a.value) == "(#t #f)"
+
+    def test_promise_prints_opaquely(self):
+        for stage in ("p", "(begin (force p) p)"):
+            a = run_both(f"(define p (delay 3))\n{stage}", mode="off")
+            assert write_value(a.value) == "#<promise>"
+
+    def test_forced_recursion_monitor_clean(self):
+        """A structurally descending loop through force stays silent
+        under full monitoring on both machines and strategies."""
+        src = """
+(define (sum-forced l)
+  (if (null? l) 0 (+ (force (car l)) (sum-forced (cdr l)))))
+(sum-forced (list (delay 1) (delay 2) (delay 3)))
+"""
+        for strategy in ("cm", "imperative"):
+            a = run_both(src, mode="full", strategy=strategy)
+            assert a.kind == Answer.VALUE and a.value == 6
+
+
+class TestVectors:
+    def test_construction_and_access(self):
+        a = run_both("""
+(define v (vector 1 2 3))
+(list (vector-length v) (vector-ref v 0) (vector-ref v 2))
+""", mode="off")
+        assert write_value(a.value) == "(3 1 3)"
+
+    def test_make_vector_and_fill(self):
+        a = run_both("(vector->list (make-vector 3 7))", mode="off")
+        assert write_value(a.value) == "(7 7 7)"
+
+    def test_functional_set(self):
+        a = run_both("""
+(define v (vector 1 2 3))
+(define w (vector-set v 1 9))
+(list (vector-ref v 1) (vector-ref w 1))
+""", mode="off")
+        assert write_value(a.value) == "(2 9)"
+
+    def test_round_trip_and_equal(self):
+        a = run_both("""
+(list (equal? (vector 1 (list 2 3)) (vector 1 (list 2 3)))
+      (equal? (vector 1 2) (vector 1 3))
+      (equal? (list->vector '(4 5)) (vector 4 5)))
+""", mode="off")
+        assert write_value(a.value) == "(#t #f #t)"
+
+    def test_rendering(self):
+        a = run_both("(vector 1 (vector 2 #t) 'x)", mode="off")
+        assert write_value(a.value) == "#(1 #(2 #t) x)"
+
+    def test_descending_vector_loop_monitor_clean(self):
+        """Iterating a vector with a descending counter is the
+        monitor-compatible idiom (an ascending index has no strict
+        descent and is — correctly — flagged by λSCT)."""
+        src = """
+(define (vsum v i acc)
+  (if (zero? i)
+      (+ acc (vector-ref v 0))
+      (vsum v (- i 1) (+ acc (vector-ref v i)))))
+(define v (vector 10 20 30 40))
+(vsum v 3 0)
+"""
+        for strategy in ("cm", "imperative"):
+            a = run_both(src, mode="full", strategy=strategy)
+            assert a.kind == Answer.VALUE and a.value == 100
+
+    def test_ascending_index_is_flagged(self):
+        src = """
+(define (count v i)
+  (if (< i (vector-length v))
+      (+ 1 (count v (+ i 1)))
+      0))
+(count (vector 1 2 3) 0)
+"""
+        a = run_both(src, mode="full")
+        assert a.kind == Answer.SC_ERROR

@@ -1,0 +1,77 @@
+"""Violation-payload byte identity: the rendered ``SizeChangeViolation``
+must be identical across machine × engine for every diverging program.
+
+The bitmask engine stores graphs as packed machine ints and unpacks to
+the reference :class:`~repro.sct.graph.SCGraph` representation only
+when raising, so the *observable* payload — blame label, call-pattern
+rendering, the offending composed graph — must not depend on which
+engine composed it, nor on which machine drove the evaluation."""
+
+import pytest
+
+from repro.corpus import conservative_programs, diverging_programs
+from repro.eval.machine import Answer, run_source
+from repro.fuzz.gen import generate_program
+from repro.sct.monitor import SCMonitor
+
+DIVERGING = diverging_programs()
+CONSERVATIVE = conservative_programs()
+MACHINES = ("tree", "compiled")
+ENGINES = ("bitmask", "reference")
+
+
+def _payloads(source, measures=None, fuel=300_000):
+    out = {}
+    for machine in MACHINES:
+        for engine in ENGINES:
+            monitor = SCMonitor(engine=engine, measures=measures)
+            a = run_source(source, mode="full", monitor=monitor,
+                           machine=machine, max_steps=fuel)
+            out[(machine, engine)] = (a.kind, str(a.violation)
+                                      if a.violation is not None else None)
+    return out
+
+
+@pytest.mark.parametrize("prog", DIVERGING, ids=[d.name for d in DIVERGING])
+def test_corpus_diverging_payloads_identical(prog):
+    payloads = _payloads(prog.source, measures=prog.measures)
+    kinds = {k for k, _ in payloads.values()}
+    assert kinds == {Answer.SC_ERROR}, payloads
+    rendered = {v for _, v in payloads.values()}
+    assert len(rendered) == 1, payloads
+
+
+@pytest.mark.parametrize("prog", CONSERVATIVE,
+                         ids=[p.name for p in CONSERVATIVE])
+def test_conservative_flag_payloads_identical(prog):
+    """The §1 'unavoidable wrinkle' programs terminate but are flagged —
+    the *flag itself* must also be byte-identical everywhere."""
+    payloads = _payloads(prog.source, fuel=30_000_000)
+    kinds = {k for k, _ in payloads.values()}
+    assert kinds == {Answer.SC_ERROR}, payloads
+    rendered = {v for _, v in payloads.values()}
+    assert len(rendered) == 1, payloads
+
+
+@pytest.mark.parametrize("seed", [1, 3, 5, 7, 9])
+def test_generated_diverging_payloads_identical(seed):
+    program = generate_program(seed, "diverging")
+    payloads = _payloads(program.source, fuel=program.fuel)
+    # A planted loop is either flagged (usual) or, under a whitelist-free
+    # monitor, always flagged before fuel runs out — either way every
+    # cell must agree byte-for-byte.
+    assert len(set(payloads.values())) == 1, payloads
+
+
+def test_payload_is_stable_across_strategies():
+    """The cm and imperative table strategies observe the same call
+    pattern, so the payload matches there too."""
+    prog = DIVERGING[0]
+    rendered = set()
+    for strategy in ("cm", "imperative"):
+        monitor = SCMonitor(measures=prog.measures)
+        a = run_source(prog.source, mode="full", strategy=strategy,
+                       monitor=monitor, max_steps=300_000)
+        assert a.kind == Answer.SC_ERROR
+        rendered.add(str(a.violation))
+    assert len(rendered) == 1
