@@ -2,7 +2,8 @@ PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
 .PHONY: test bench bench-quick bench-interp bench-interp-smoke \
-	bench-residual bench-residual-smoke fuzz fuzz-smoke fuzz-nightly docs
+	bench-residual bench-residual-smoke fuzz fuzz-smoke fuzz-nightly \
+	serve-bench serve-smoke docs
 
 # Tier-1 verification: the full claim-backing test suite.
 test:
@@ -45,6 +46,15 @@ fuzz-smoke:
 fuzz-nightly:
 	$(PYTHON) -m repro fuzz --n 2000 --seed $(shell date +%U)000 \
 		--archive --out BENCH_fuzz.json
+
+# The sized-serve load benchmark: boots a real server, >=1000
+# concurrent requests with fault injection (writes BENCH_serve.json).
+serve-bench:
+	$(PYTHON) benchmarks/bench_serve.py --out BENCH_serve.json
+
+# The PR-blocking serve smoke: 200 mixed requests, zero-drop gate.
+serve-smoke:
+	$(PYTHON) benchmarks/bench_serve.py --quick --out BENCH_serve.json
 
 # The documentation set worth (re)reading, in order.
 docs:

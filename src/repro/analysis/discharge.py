@@ -330,13 +330,71 @@ class VerificationCache:
     would silently stop matching.  With ``path`` set, every certificate is
     additionally written to ``<path>/<key>.json`` and picked up by future
     processes.
+
+    ``shard_depth=N`` spreads the on-disk store over ``<path>/<key[:N]>/``
+    prefix directories — the layout ``sized serve`` workers use so each
+    worker owns the shard(s) its routed keys land in and concurrent
+    writers never contend on one directory.  A depth-0 cache reads a
+    depth-N store as a miss (and vice versa) — pick one layout per
+    directory.
+
+    A corrupt or schema-mismatched on-disk entry is **quarantined** on
+    first read (renamed to ``<file>.rejected``) and counted in
+    ``rejected`` rather than ``misses`` — leaving the bad file in place
+    would make every future ``get`` re-open and re-reject it, and a
+    concurrent writer's schema bump would never self-heal.  After
+    quarantine the next ``put`` simply rewrites the entry.
+
+    Instances are independent: nothing here touches process-global state,
+    so concurrent requests (serve workers, tests) each get their own
+    counters by constructing their own cache — see :func:`default_cache`
+    for the one deliberately shared instance.
     """
 
-    def __init__(self, path: Optional[str] = None):
+    SCHEMA = "discharge-certificate/v1"
+
+    def __init__(self, path: Optional[str] = None, *, shard_depth: int = 0):
         self._mem: Dict[str, dict] = {}
         self.path = path
+        self.shard_depth = shard_depth
         self.hits = 0
         self.misses = 0
+        self.rejected = 0
+
+    def reset(self) -> None:
+        """Drop the in-memory store and zero the counters (the on-disk
+        store, if any, is untouched)."""
+        self._mem.clear()
+        self.hits = 0
+        self.misses = 0
+        self.rejected = 0
+
+    def snapshot(self) -> dict:
+        """A point-in-time stats view (counters + store shape)."""
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "rejected": self.rejected,
+            "entries": len(self._mem),
+            "path": self.path,
+            "shard_depth": self.shard_depth,
+        }
+
+    def _file(self, key: str) -> str:
+        if self.shard_depth:
+            return os.path.join(self.path, key[:self.shard_depth],
+                                f"{key}.json")
+        return os.path.join(self.path, f"{key}.json")
+
+    def _quarantine(self, file: str) -> None:
+        self.rejected += 1
+        try:
+            os.replace(file, f"{file}.rejected")
+        except OSError:
+            try:
+                os.unlink(file)
+            except OSError:
+                pass
 
     @staticmethod
     def key(text: str, entry: str, kinds: Sequence[str],
@@ -360,16 +418,26 @@ class VerificationCache:
             program: Program) -> Optional[DischargeCertificate]:
         stable = self._mem.get(key)
         if stable is None and self.path is not None:
-            file = os.path.join(self.path, f"{key}.json")
+            file = self._file(key)
+            raw = None
             try:
                 with open(file) as f:
-                    stable = json.load(f)
-            except (OSError, ValueError):
-                stable = None
-            if stable is not None and stable.get("schema") != \
-                    "discharge-certificate/v1":
-                stable = None
-            if stable is not None:
+                    raw = f.read()
+            except OSError:
+                raw = None  # absent (or unreadable): a true miss
+            if raw is not None:
+                try:
+                    stable = json.loads(raw)
+                except ValueError:
+                    stable = None
+                if not (isinstance(stable, dict)
+                        and stable.get("schema") == self.SCHEMA):
+                    # Corrupt / wrong-schema: quarantine and report a
+                    # *rejection*, not a miss — `rejected` was already
+                    # bumped, and the file is gone so the next get is a
+                    # clean miss and the next put self-heals.
+                    self._quarantine(file)
+                    return None
                 self._mem[key] = stable
         if stable is None:
             self.misses += 1
@@ -384,8 +452,8 @@ class VerificationCache:
         stable = certificate.to_stable(to_stable)
         self._mem[key] = stable
         if self.path is not None:
-            os.makedirs(self.path, exist_ok=True)
-            file = os.path.join(self.path, f"{key}.json")
+            file = self._file(key)
+            os.makedirs(os.path.dirname(file), exist_ok=True)
             tmp = f"{file}.tmp.{os.getpid()}"
             with open(tmp, "w") as f:
                 json.dump(stable, f, indent=2)
@@ -396,7 +464,13 @@ _DEFAULT_CACHE = VerificationCache()
 
 
 def default_cache() -> VerificationCache:
-    """The process-wide in-memory cache (shared by CLI and pyterm)."""
+    """The process-wide in-memory cache — the *fallback* when no cache is
+    injected (``@terminating`` without ``cache=``, ``discharge_for_run``
+    with ``cache=None``).  Every other consumer (the CLI, the serve
+    workers, the benches, tests) injects its own
+    :class:`VerificationCache`, so this instance's ``hits``/``misses``
+    never bleed across independent requests; call ``default_cache().
+    reset()`` to isolate a test that must exercise the fallback itself."""
     return _DEFAULT_CACHE
 
 

@@ -14,6 +14,10 @@ Subcommands::
     sized bench table1|fig10|divergence|ablation|mc|compose|interp|residual
                 [--scale quick|full] [--smoke] [--out PATH]
     sized corpus [--diverging]
+    sized serve [--host H] [--port P] [--workers N] [--batch-window-ms MS]
+                [--default-fuel N] [--tenant-budget N]
+                [--request-timeout S] [--cache-dir DIR] [--shard-depth N]
+                [--allow-fault-injection]
     sized fuzz [--n N] [--seed S] [--mode both|terminating|diverging]
                [--matrix full|quick|m:e:p,...] [--fuel N] [--features a,b]
                [--no-shrink] [--archive] [--json] [--out PATH]
@@ -53,7 +57,15 @@ check passed, 1 when any divergence was found.
 
 ``--fuel`` (run/trace/fuzz) bounds machine steps like ``--max-steps``
 but reports exhaustion distinctly (``FuelExhausted``) — the fuzzer's
-way of observing divergence without hanging.
+way of observing divergence without hanging.  ``--fuel 0`` is immediate
+exhaustion (no steps run) on every path, including the serve budgets.
+
+``serve`` runs the batched termination-checking service
+(:mod:`repro.serve`): JSON-lines over TCP, request dedupe by
+content-addressed cache key, warm worker processes each owning a shard
+of the on-disk certificate store, per-tenant fuel budgets, and a
+``stats`` metrics surface.  ``benchmarks/bench_serve.py`` is the load
+generator (writes ``BENCH_serve.json``).
 """
 
 from __future__ import annotations
@@ -159,6 +171,38 @@ def main(argv: Optional[List[str]] = None) -> int:
     p_corpus = sub.add_parser("corpus", help="list the evaluation corpus")
     p_corpus.add_argument("--diverging", action="store_true")
 
+    p_serve = sub.add_parser(
+        "serve", help="batched termination-checking service (JSON lines "
+                      "over TCP; see docs/architecture.md)")
+    p_serve.add_argument("--host", default="127.0.0.1")
+    p_serve.add_argument("--port", type=int, default=8737,
+                         help="TCP port (0 = ephemeral; the bound port is "
+                              "announced on stdout)")
+    p_serve.add_argument("--workers", type=int, default=None,
+                         help="warm worker processes / cache shards "
+                              "(default: min(4, cpus))")
+    p_serve.add_argument("--batch-window-ms", type=float, default=2.0,
+                         help="how long the first request of a batch "
+                              "waits for identical joiners")
+    p_serve.add_argument("--default-fuel", type=int, default=5_000_000,
+                         help="step budget for requests that do not "
+                              "send 'fuel' (0 = immediate exhaustion; "
+                              "--default-fuel -1 = unlimited)")
+    p_serve.add_argument("--tenant-budget", type=int, default=None,
+                         help="total fuel each tenant may spend "
+                              "(default: unlimited, spend still metered)")
+    p_serve.add_argument("--request-timeout", type=float, default=60.0,
+                         help="wall-clock seconds per worker attempt; "
+                              "exceeding it recycles the worker")
+    p_serve.add_argument("--cache-dir", default=None, metavar="DIR",
+                         help="sharded on-disk certificate store shared "
+                              "by the workers (default: memory only)")
+    p_serve.add_argument("--shard-depth", type=int, default=2,
+                         help="hash-prefix directory depth of the "
+                              "on-disk store")
+    p_serve.add_argument("--allow-fault-injection", action="store_true",
+                         help="enable op=crash (tests/benches only)")
+
     p_fuzz = sub.add_parser(
         "fuzz", help="property-based differential testing over the "
                      "machine × engine × discharge matrix")
@@ -204,6 +248,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_bench(args)
     if args.command == "corpus":
         return _cmd_corpus(args)
+    if args.command == "serve":
+        return _cmd_serve(args)
     if args.command == "fuzz":
         return _cmd_fuzz(args)
     return 2
@@ -240,8 +286,9 @@ def _cmd_run(args) -> int:
         from repro.analysis.discharge import (VerificationCache,
                                               discharge_for_run)
 
-        cache = (VerificationCache(args.discharge_cache)
-                 if args.discharge_cache else None)
+        # Always an explicit instance: the CLI never touches the
+        # process-wide default_cache(), so runs are isolated.
+        cache = VerificationCache(args.discharge_cache)
         result = discharge_for_run(
             program, text=source, mc=args.mc,
             result_kinds=_parse_result_kinds(args.result_kind), cache=cache)
@@ -397,6 +444,26 @@ def _cmd_corpus(args) -> int:
             paper = "/".join(c or "-" for c in p.paper)
             print(f"{p.name:15s} paper={paper:22s} {p.notes.splitlines()[0]}")
     return 0
+
+
+def _cmd_serve(args) -> int:
+    import asyncio
+
+    from repro.serve import ServeConfig, serve_main
+
+    config = ServeConfig(
+        host=args.host, port=args.port, workers=args.workers,
+        batch_window_ms=args.batch_window_ms,
+        default_fuel=None if args.default_fuel < 0 else args.default_fuel,
+        tenant_budget=args.tenant_budget,
+        request_timeout=args.request_timeout,
+        cache_dir=args.cache_dir, shard_depth=args.shard_depth,
+        allow_fault_injection=args.allow_fault_injection,
+    )
+    try:
+        return asyncio.run(serve_main(config))
+    except KeyboardInterrupt:
+        return 0
 
 
 def _cmd_fuzz(args) -> int:

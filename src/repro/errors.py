@@ -51,4 +51,7 @@ class FuelExhausted(MachineTimeout):
 
     def __init__(self, steps: int):
         super().__init__(steps)
+        # the *configured* budget, verbatim — callers (serve budgets,
+        # the CLI) rely on this being the real limit, 0 included
+        self.limit = steps
         self.args = (f"fuel exhausted after {steps} steps",)

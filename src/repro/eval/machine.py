@@ -186,202 +186,207 @@ def eval_expr(
     steps_left = fuel.left
     monitored_modes = mode != "off"
 
-    while True:
-        if steps_left >= 0:
-            steps_left -= 1
-            if steps_left < 0:
-                fuel.left = 0
-                raise FuelExhausted(fuel.limit or 0)
-
-        if not returning:
-            k = control.kind
-            if k == 1:  # K_VAR
-                try:
-                    val = cenv.lookup(control.name)
-                except UnboundVariable as exc:
-                    raise SchemeError(str(exc), control.loc) from None
-                if val is _UNDEF:
-                    raise SchemeError(
-                        f"{control.name.name}: used before initialization",
-                        control.loc,
-                    )
-                returning = True
-            elif k == 0:  # K_LIT
-                val = control.value
-                returning = True
-            elif k == 3:  # K_APP
-                kont.append((F_APPFN, control.args, cenv, control.loc, s1, s2))
-                control = control.fn
-            elif k == 4:  # K_IF
-                kont.append((F_IF, control.then, control.els, cenv, s1, s2))
-                control = control.test
-            elif k == 2:  # K_LAM
-                val = Closure(control, cenv)
-                returning = True
-            elif k == 6:  # K_LET
-                if not control.rhss:
-                    cenv = Env({}, cenv)
-                    control = control.body
-                else:
-                    kont.append((F_LET, control, 0, [], cenv, s1, s2))
-                    control = control.rhss[0]
-            elif k == 7:  # K_LETREC
-                new_env = Env({n: _UNDEF for n in control.names}, cenv)
-                if not control.rhss:
-                    cenv = new_env
-                    control = control.body
-                else:
-                    kont.append((F_LETREC, control, 0, new_env, s1, s2))
-                    control = control.rhss[0]
-                    cenv = new_env
-            elif k == 5:  # K_BEGIN
-                body = control.body
-                if len(body) > 1:
-                    kont.append((F_BEGIN, body, 1, cenv, s1, s2))
-                control = body[0]
-            elif k == 8:  # K_SET
-                kont.append((F_SET, control.name, cenv, s1, s2))
-                control = control.expr
-            elif k == 9:  # K_TERMC
-                kont.append((F_TERMC, control.blame, s1, s2))
-                control = control.expr
-            else:  # pragma: no cover - parser emits only the kinds above
-                raise SchemeError(f"unknown AST node kind {k}")
-            continue
-
-        # Returning `val` to the continuation.
-        if not kont:
-            fuel.left = steps_left
-            return val
-        frame = kont.pop()
-        tag = frame[0]
-        s1 = frame[-2]
-        s2 = frame[-1]
-
-        if tag == F_APPFN:
-            _, arg_exprs, fenv, loc, _, _ = frame
-            if not arg_exprs:
-                fn = val
-                vals: List = []
-            else:
-                kont.append((F_APPARG, val, [], arg_exprs, 1, fenv, loc, s1, s2))
-                control = arg_exprs[0]
-                cenv = fenv
-                returning = False
-                continue
-        elif tag == F_APPARG:
-            _, fn, vals, arg_exprs, idx, fenv, loc, _, _ = frame
-            vals.append(val)
-            if idx < len(arg_exprs):
-                kont.append((F_APPARG, fn, vals, arg_exprs, idx + 1, fenv, loc, s1, s2))
-                control = arg_exprs[idx]
-                cenv = fenv
-                returning = False
-                continue
-        elif tag == F_IF:
-            control = frame[1] if val is not False else frame[2]
-            cenv = frame[3]
-            returning = False
-            continue
-        elif tag == F_BEGIN:
-            _, body, idx, benv, _, _ = frame
-            if idx < len(body) - 1:
-                kont.append((F_BEGIN, body, idx + 1, benv, s1, s2))
-            control = body[idx]
-            cenv = benv
-            returning = False
-            continue
-        elif tag == F_LET:
-            _, node, idx, vals, lenv, _, _ = frame
-            vals.append(val)
-            idx += 1
-            if idx < len(node.rhss):
-                kont.append((F_LET, node, idx, vals, lenv, s1, s2))
-                control = node.rhss[idx]
-                cenv = lenv
-            else:
-                cenv = Env(dict(zip(node.names, vals)), lenv)
-                control = node.body
-            returning = False
-            continue
-        elif tag == F_LETREC:
-            _, node, idx, new_env, _, _ = frame
-            new_env.bindings[node.names[idx]] = val
-            if type(val) is Closure and val.name is None:
-                val.name = node.names[idx].name
-            idx += 1
-            if idx < len(node.rhss):
-                kont.append((F_LETREC, node, idx, new_env, s1, s2))
-                control = node.rhss[idx]
-            else:
-                control = node.body
-            cenv = new_env
-            returning = False
-            continue
-        elif tag == F_SET:
-            try:
-                frame[2].set(frame[1], val)
-            except UnboundVariable as exc:
-                raise SchemeError(str(exc)) from None
-            val = VOID
-            continue
-        elif tag == F_TERMC:
-            blame_label = frame[1]
-            if type(val) is Closure:
-                val = TermWrapped(val, blame_label)
-            # term/c on primitives and other values is the identity
-            # ([Wrap-Prim]); already-wrapped closures keep their first label.
-            continue
-        elif tag == F_RESTORE:
-            monitor.restore_mut(mtable, frame[1], frame[2])
-            continue
-        else:  # pragma: no cover
-            raise SchemeError(f"unknown frame tag {tag}")
-
-        # -- application ------------------------------------------------------
-        loc = frame[3] if tag == F_APPFN else frame[6]
+    try:
         while True:
-            tf = type(fn)
-            if tf is Closure:
-                params = fn.lam.params
-                if len(vals) != len(params):
-                    raise SchemeError(
-                        f"{fn.describe()}: expected {len(params)} arguments, "
-                        f"got {len(vals)}",
-                        loc,
-                    )
-                if imperative:
-                    if s1 and monitor.should_monitor(fn):
-                        key, prev = monitor.upd_mut(mtable, fn, tuple(vals), s2)
-                        kont.append((F_RESTORE, key, prev, s1, s2))
-                else:
-                    if s1 is not None and monitor.should_monitor(fn):
-                        s1 = monitor.upd(s1, fn, tuple(vals), s2)
-                cenv = Env(dict(zip(params, vals)), fn.env)
-                control = fn.lam.body
-                returning = False
-                break
-            if tf is Prim:
-                if not fn.accepts(len(vals)):
-                    raise SchemeError(
-                        f"{fn.name}: arity mismatch with {len(vals)} arguments",
-                        loc,
-                    )
-                val = fn.fn(vals)
-                returning = True
-                break
-            if tf is TermWrapped:
-                if monitored_modes:
-                    s2 = fn.blame
-                    if imperative:
-                        s1 = True
-                    elif s1 is None:
-                        s1 = Hamt.empty()
-                fn = fn.closure
+            if steps_left >= 0:
+                steps_left -= 1
+                if steps_left < 0:
+                    steps_left = 0
+                    raise FuelExhausted(fuel.limit)
+
+            if not returning:
+                k = control.kind
+                if k == 1:  # K_VAR
+                    try:
+                        val = cenv.lookup(control.name)
+                    except UnboundVariable as exc:
+                        raise SchemeError(str(exc), control.loc) from None
+                    if val is _UNDEF:
+                        raise SchemeError(
+                            f"{control.name.name}: used before initialization",
+                            control.loc,
+                        )
+                    returning = True
+                elif k == 0:  # K_LIT
+                    val = control.value
+                    returning = True
+                elif k == 3:  # K_APP
+                    kont.append((F_APPFN, control.args, cenv, control.loc, s1, s2))
+                    control = control.fn
+                elif k == 4:  # K_IF
+                    kont.append((F_IF, control.then, control.els, cenv, s1, s2))
+                    control = control.test
+                elif k == 2:  # K_LAM
+                    val = Closure(control, cenv)
+                    returning = True
+                elif k == 6:  # K_LET
+                    if not control.rhss:
+                        cenv = Env({}, cenv)
+                        control = control.body
+                    else:
+                        kont.append((F_LET, control, 0, [], cenv, s1, s2))
+                        control = control.rhss[0]
+                elif k == 7:  # K_LETREC
+                    new_env = Env({n: _UNDEF for n in control.names}, cenv)
+                    if not control.rhss:
+                        cenv = new_env
+                        control = control.body
+                    else:
+                        kont.append((F_LETREC, control, 0, new_env, s1, s2))
+                        control = control.rhss[0]
+                        cenv = new_env
+                elif k == 5:  # K_BEGIN
+                    body = control.body
+                    if len(body) > 1:
+                        kont.append((F_BEGIN, body, 1, cenv, s1, s2))
+                    control = body[0]
+                elif k == 8:  # K_SET
+                    kont.append((F_SET, control.name, cenv, s1, s2))
+                    control = control.expr
+                elif k == 9:  # K_TERMC
+                    kont.append((F_TERMC, control.blame, s1, s2))
+                    control = control.expr
+                else:  # pragma: no cover - parser emits only the kinds above
+                    raise SchemeError(f"unknown AST node kind {k}")
                 continue
-            raise SchemeError(
-                f"application of a non-procedure: {write_value(fn)}", loc
-            )
+
+            # Returning `val` to the continuation.
+            if not kont:
+                return val  # the finally below publishes fuel.left
+            frame = kont.pop()
+            tag = frame[0]
+            s1 = frame[-2]
+            s2 = frame[-1]
+
+            if tag == F_APPFN:
+                _, arg_exprs, fenv, loc, _, _ = frame
+                if not arg_exprs:
+                    fn = val
+                    vals: List = []
+                else:
+                    kont.append((F_APPARG, val, [], arg_exprs, 1, fenv, loc, s1, s2))
+                    control = arg_exprs[0]
+                    cenv = fenv
+                    returning = False
+                    continue
+            elif tag == F_APPARG:
+                _, fn, vals, arg_exprs, idx, fenv, loc, _, _ = frame
+                vals.append(val)
+                if idx < len(arg_exprs):
+                    kont.append((F_APPARG, fn, vals, arg_exprs, idx + 1, fenv, loc, s1, s2))
+                    control = arg_exprs[idx]
+                    cenv = fenv
+                    returning = False
+                    continue
+            elif tag == F_IF:
+                control = frame[1] if val is not False else frame[2]
+                cenv = frame[3]
+                returning = False
+                continue
+            elif tag == F_BEGIN:
+                _, body, idx, benv, _, _ = frame
+                if idx < len(body) - 1:
+                    kont.append((F_BEGIN, body, idx + 1, benv, s1, s2))
+                control = body[idx]
+                cenv = benv
+                returning = False
+                continue
+            elif tag == F_LET:
+                _, node, idx, vals, lenv, _, _ = frame
+                vals.append(val)
+                idx += 1
+                if idx < len(node.rhss):
+                    kont.append((F_LET, node, idx, vals, lenv, s1, s2))
+                    control = node.rhss[idx]
+                    cenv = lenv
+                else:
+                    cenv = Env(dict(zip(node.names, vals)), lenv)
+                    control = node.body
+                returning = False
+                continue
+            elif tag == F_LETREC:
+                _, node, idx, new_env, _, _ = frame
+                new_env.bindings[node.names[idx]] = val
+                if type(val) is Closure and val.name is None:
+                    val.name = node.names[idx].name
+                idx += 1
+                if idx < len(node.rhss):
+                    kont.append((F_LETREC, node, idx, new_env, s1, s2))
+                    control = node.rhss[idx]
+                else:
+                    control = node.body
+                cenv = new_env
+                returning = False
+                continue
+            elif tag == F_SET:
+                try:
+                    frame[2].set(frame[1], val)
+                except UnboundVariable as exc:
+                    raise SchemeError(str(exc)) from None
+                val = VOID
+                continue
+            elif tag == F_TERMC:
+                blame_label = frame[1]
+                if type(val) is Closure:
+                    val = TermWrapped(val, blame_label)
+                # term/c on primitives and other values is the identity
+                # ([Wrap-Prim]); already-wrapped closures keep their first label.
+                continue
+            elif tag == F_RESTORE:
+                monitor.restore_mut(mtable, frame[1], frame[2])
+                continue
+            else:  # pragma: no cover
+                raise SchemeError(f"unknown frame tag {tag}")
+
+            # -- application ------------------------------------------------------
+            loc = frame[3] if tag == F_APPFN else frame[6]
+            while True:
+                tf = type(fn)
+                if tf is Closure:
+                    params = fn.lam.params
+                    if len(vals) != len(params):
+                        raise SchemeError(
+                            f"{fn.describe()}: expected {len(params)} arguments, "
+                            f"got {len(vals)}",
+                            loc,
+                        )
+                    if imperative:
+                        if s1 and monitor.should_monitor(fn):
+                            key, prev = monitor.upd_mut(mtable, fn, tuple(vals), s2)
+                            kont.append((F_RESTORE, key, prev, s1, s2))
+                    else:
+                        if s1 is not None and monitor.should_monitor(fn):
+                            s1 = monitor.upd(s1, fn, tuple(vals), s2)
+                    cenv = Env(dict(zip(params, vals)), fn.env)
+                    control = fn.lam.body
+                    returning = False
+                    break
+                if tf is Prim:
+                    if not fn.accepts(len(vals)):
+                        raise SchemeError(
+                            f"{fn.name}: arity mismatch with {len(vals)} arguments",
+                            loc,
+                        )
+                    val = fn.fn(vals)
+                    returning = True
+                    break
+                if tf is TermWrapped:
+                    if monitored_modes:
+                        s2 = fn.blame
+                        if imperative:
+                            s1 = True
+                        elif s1 is None:
+                            s1 = Hamt.empty()
+                    fn = fn.closure
+                    continue
+                raise SchemeError(
+                    f"application of a non-procedure: {write_value(fn)}", loc
+                )
+    finally:
+        # Publish consumption on *every* exit path -- value, error,
+        # violation, exhaustion -- so a shared _Fuel stays accurate
+        # across top-level forms and callers can meter real spend.
+        fuel.left = steps_left
 
 
 # -- the compiled machine ------------------------------------------------------
@@ -625,409 +630,414 @@ def eval_code(
     returning = False
     steps_left = fuel.left
 
-    while True:
-        if steps_left >= 0:
-            steps_left -= 1
-            if steps_left < 0:
-                fuel.left = 0
-                raise FuelExhausted(fuel.limit or 0)
+    try:
+        while True:
+            if steps_left >= 0:
+                steps_left -= 1
+                if steps_left < 0:
+                    steps_left = 0
+                    raise FuelExhausted(fuel.limit)
 
-        if not returning:
-            t = control.tag
-            if t == 4:  # T_APP
-                exprs = control.exprs
-                vals = []
-                i = eval_args(exprs, 0, vals, cenv)
-                if i < len(exprs):
-                    kont.append([KF_APP, vals, exprs, i, cenv,
-                                 control.loc, s1, s2])
-                    control = exprs[i]
-                    continue
-                loc = control.loc
-                # fall through to APPLY
-            elif t == 1:  # T_LOCAL
-                f = cenv
-                d = control.depth
-                while d:
-                    f = f[0]
-                    d -= 1
-                val = f[control.idx]
-                if val is _undef:
-                    raise SchemeError(
-                        f"{control.name.name}: used before initialization",
-                        control.loc,
-                    )
-                returning = True
-                continue
-            elif t == 5:  # T_IF
-                t1 = control.test1
-                if t1 is not None:
-                    # Immediate or cheap-application test: branch without
-                    # touching the continuation.  A cheap test whose head
-                    # turns out to be a closure falls through (its pure
-                    # immediates re-evaluate, which is sound).
-                    probe = []
-                    if eval_args(t1, 0, probe, cenv):
-                        control = (control.then if probe[0] is not False
-                                   else control.els)
+            if not returning:
+                t = control.tag
+                if t == 4:  # T_APP
+                    exprs = control.exprs
+                    vals = []
+                    i = eval_args(exprs, 0, vals, cenv)
+                    if i < len(exprs):
+                        kont.append([KF_APP, vals, exprs, i, cenv,
+                                     control.loc, s1, s2])
+                        control = exprs[i]
                         continue
-                kont.append([KF_IF, control.then, control.els, cenv,
-                             s1, s2])
-                control = control.test
-                continue
-            elif t == 0:  # T_LIT
-                val = control.value
-                returning = True
-                continue
-            elif t == 2:  # T_GLOBAL
-                val = gget(control.sname, _MISS)
-                if val is _MISS:
-                    raise SchemeError(
-                        f"unbound variable: {control.name.name}", control.loc)
-                returning = True
-                continue
-            elif t == 3:  # T_LAM
-                val = _closure(control, cenv)
-                returning = True
-                continue
-            elif t == 7:  # T_LET
-                vals = [cenv]
-                rhss = control.rhss
-                i = eval_args(rhss, 0, vals, cenv)
-                if i < len(rhss):
-                    kont.append([KF_LET, control, i, vals, cenv, s1, s2])
-                    control = rhss[i]
-                else:
-                    cenv = vals
-                    control = control.body
-                continue
-            elif t == 8:  # T_LETREC
-                frame = [cenv] + [_UNDEF] * control.nslots
-                rhss = control.rhss
-                names = control.names
-                i = 0
-                n = len(rhss)
-                while i < n and rhss[i].tag < 4:
-                    v = imm1(rhss[i], frame)
-                    if type(v) is _closure and v.name is None:
-                        v.name = names[i].name
-                    frame[i + 1] = v
-                    i += 1
-                cenv = frame
-                if i < n:
-                    kont.append([KF_LETREC, control, i, frame, s1, s2])
-                    control = rhss[i]
-                else:
-                    control = control.body
-                continue
-            elif t == 6:  # T_BEGIN
-                body = control.body
-                last = control.last
-                i = 0
-                while i < last and body[i].tag < 4:
-                    imm1(body[i], cenv)  # evaluated for effect (may raise)
-                    i += 1
-                if i < last:
-                    kont.append([KF_BEGIN, body, i + 1, cenv, s1, s2])
-                control = body[i]
-                continue
-            elif t == 9:  # T_SETLOCAL
-                e = control.expr
-                if e.tag < 4:
-                    v = imm1(e, cenv)
+                    loc = control.loc
+                    # fall through to APPLY
+                elif t == 1:  # T_LOCAL
                     f = cenv
                     d = control.depth
                     while d:
                         f = f[0]
                         d -= 1
-                    f[control.idx] = v
-                    val = VOID
+                    val = f[control.idx]
+                    if val is _undef:
+                        raise SchemeError(
+                            f"{control.name.name}: used before initialization",
+                            control.loc,
+                        )
                     returning = True
-                else:
-                    kont.append([KF_SETLOCAL, control.depth, control.idx,
-                                 cenv, s1, s2])
-                    control = e
-                continue
-            elif t == 10:  # T_SETGLOBAL
-                e = control.expr
-                if e.tag < 4:
-                    v = imm1(e, cenv)
-                    try:
-                        genv.set(control.name, v)
-                    except UnboundVariable as exc:
-                        raise SchemeError(str(exc)) from None
-                    val = VOID
+                    continue
+                elif t == 5:  # T_IF
+                    t1 = control.test1
+                    if t1 is not None:
+                        # Immediate or cheap-application test: branch without
+                        # touching the continuation.  A cheap test whose head
+                        # turns out to be a closure falls through (its pure
+                        # immediates re-evaluate, which is sound).
+                        probe = []
+                        if eval_args(t1, 0, probe, cenv):
+                            control = (control.then if probe[0] is not False
+                                       else control.els)
+                            continue
+                    kont.append([KF_IF, control.then, control.els, cenv,
+                                 s1, s2])
+                    control = control.test
+                    continue
+                elif t == 0:  # T_LIT
+                    val = control.value
                     returning = True
-                else:
-                    kont.append([KF_SETGLOBAL, control.name, s1, s2])
-                    control = e
-                continue
-            elif t == 11:  # T_TERMC
-                e = control.expr
-                if e.tag < 4:
-                    v = imm1(e, cenv)
-                    if type(v) is _closure:
-                        v = TermWrapped(v, control.blame)
-                    val = v
+                    continue
+                elif t == 2:  # T_GLOBAL
+                    val = gget(control.sname, _MISS)
+                    if val is _MISS:
+                        raise SchemeError(
+                            f"unbound variable: {control.name.name}", control.loc)
                     returning = True
-                else:
-                    kont.append([KF_TERMC, control.blame, s1, s2])
-                    control = e
-                continue
-            else:  # pragma: no cover - the resolver emits only these tags
-                raise SchemeError(f"unknown code tag {t}")
-        else:
-            # Returning `val` to the continuation.
-            if not kont:
-                fuel.left = steps_left
-                return val
-            fr = kont.pop()
-            tag = fr[0]
-            s1 = fr[-2]
-            s2 = fr[-1]
-            if tag == 0:  # KF_APP
-                vals = fr[1]
-                vals.append(val)
-                exprs = fr[2]
-                i = fr[3] + 1
-                if i < len(exprs):  # common case: that was the last element
-                    fenv = fr[4]
-                    i = eval_args(exprs, i, vals, fenv)
-                    if i < len(exprs):
-                        fr[3] = i
-                        kont.append(fr)  # reuse the frame, no allocation
-                        control = exprs[i]
-                        cenv = fenv
-                        returning = False
-                        continue
-                loc = fr[5]
-                returning = False
-                # fall through to APPLY
-            elif tag == 1:  # KF_IF
-                control = fr[1] if val is not False else fr[2]
-                cenv = fr[3]
-                returning = False
-                continue
-            elif tag == 2:  # KF_BEGIN
-                body = fr[1]
-                i = fr[2]
-                benv = fr[3]
-                last = len(body) - 1
-                while i < last and body[i].tag < 4:
-                    imm1(body[i], benv)
-                    i += 1
-                if i < last:
-                    fr[2] = i + 1
-                    kont.append(fr)
-                control = body[i]
-                cenv = benv
-                returning = False
-                continue
-            elif tag == 3:  # KF_LET
-                node = fr[1]
-                vals = fr[3]
-                vals.append(val)
-                rhss = node.rhss
-                i = fr[2] + 1
-                if i < len(rhss):
-                    lenv = fr[4]
-                    i = eval_args(rhss, i, vals, lenv)
+                    continue
+                elif t == 3:  # T_LAM
+                    val = _closure(control, cenv)
+                    returning = True
+                    continue
+                elif t == 7:  # T_LET
+                    vals = [cenv]
+                    rhss = control.rhss
+                    i = eval_args(rhss, 0, vals, cenv)
                     if i < len(rhss):
+                        kont.append([KF_LET, control, i, vals, cenv, s1, s2])
+                        control = rhss[i]
+                    else:
+                        cenv = vals
+                        control = control.body
+                    continue
+                elif t == 8:  # T_LETREC
+                    frame = [cenv] + [_UNDEF] * control.nslots
+                    rhss = control.rhss
+                    names = control.names
+                    i = 0
+                    n = len(rhss)
+                    while i < n and rhss[i].tag < 4:
+                        v = imm1(rhss[i], frame)
+                        if type(v) is _closure and v.name is None:
+                            v.name = names[i].name
+                        frame[i + 1] = v
+                        i += 1
+                    cenv = frame
+                    if i < n:
+                        kont.append([KF_LETREC, control, i, frame, s1, s2])
+                        control = rhss[i]
+                    else:
+                        control = control.body
+                    continue
+                elif t == 6:  # T_BEGIN
+                    body = control.body
+                    last = control.last
+                    i = 0
+                    while i < last and body[i].tag < 4:
+                        imm1(body[i], cenv)  # evaluated for effect (may raise)
+                        i += 1
+                    if i < last:
+                        kont.append([KF_BEGIN, body, i + 1, cenv, s1, s2])
+                    control = body[i]
+                    continue
+                elif t == 9:  # T_SETLOCAL
+                    e = control.expr
+                    if e.tag < 4:
+                        v = imm1(e, cenv)
+                        f = cenv
+                        d = control.depth
+                        while d:
+                            f = f[0]
+                            d -= 1
+                        f[control.idx] = v
+                        val = VOID
+                        returning = True
+                    else:
+                        kont.append([KF_SETLOCAL, control.depth, control.idx,
+                                     cenv, s1, s2])
+                        control = e
+                    continue
+                elif t == 10:  # T_SETGLOBAL
+                    e = control.expr
+                    if e.tag < 4:
+                        v = imm1(e, cenv)
+                        try:
+                            genv.set(control.name, v)
+                        except UnboundVariable as exc:
+                            raise SchemeError(str(exc)) from None
+                        val = VOID
+                        returning = True
+                    else:
+                        kont.append([KF_SETGLOBAL, control.name, s1, s2])
+                        control = e
+                    continue
+                elif t == 11:  # T_TERMC
+                    e = control.expr
+                    if e.tag < 4:
+                        v = imm1(e, cenv)
+                        if type(v) is _closure:
+                            v = TermWrapped(v, control.blame)
+                        val = v
+                        returning = True
+                    else:
+                        kont.append([KF_TERMC, control.blame, s1, s2])
+                        control = e
+                    continue
+                else:  # pragma: no cover - the resolver emits only these tags
+                    raise SchemeError(f"unknown code tag {t}")
+            else:
+                # Returning `val` to the continuation.
+                if not kont:
+                    return val  # the finally below publishes fuel.left
+                fr = kont.pop()
+                tag = fr[0]
+                s1 = fr[-2]
+                s2 = fr[-1]
+                if tag == 0:  # KF_APP
+                    vals = fr[1]
+                    vals.append(val)
+                    exprs = fr[2]
+                    i = fr[3] + 1
+                    if i < len(exprs):  # common case: that was the last element
+                        fenv = fr[4]
+                        i = eval_args(exprs, i, vals, fenv)
+                        if i < len(exprs):
+                            fr[3] = i
+                            kont.append(fr)  # reuse the frame, no allocation
+                            control = exprs[i]
+                            cenv = fenv
+                            returning = False
+                            continue
+                    loc = fr[5]
+                    returning = False
+                    # fall through to APPLY
+                elif tag == 1:  # KF_IF
+                    control = fr[1] if val is not False else fr[2]
+                    cenv = fr[3]
+                    returning = False
+                    continue
+                elif tag == 2:  # KF_BEGIN
+                    body = fr[1]
+                    i = fr[2]
+                    benv = fr[3]
+                    last = len(body) - 1
+                    while i < last and body[i].tag < 4:
+                        imm1(body[i], benv)
+                        i += 1
+                    if i < last:
+                        fr[2] = i + 1
+                        kont.append(fr)
+                    control = body[i]
+                    cenv = benv
+                    returning = False
+                    continue
+                elif tag == 3:  # KF_LET
+                    node = fr[1]
+                    vals = fr[3]
+                    vals.append(val)
+                    rhss = node.rhss
+                    i = fr[2] + 1
+                    if i < len(rhss):
+                        lenv = fr[4]
+                        i = eval_args(rhss, i, vals, lenv)
+                        if i < len(rhss):
+                            fr[2] = i
+                            kont.append(fr)
+                            control = rhss[i]
+                            cenv = lenv
+                            returning = False
+                            continue
+                    cenv = vals
+                    control = node.body
+                    returning = False
+                    continue
+                elif tag == 4:  # KF_LETREC
+                    node = fr[1]
+                    frame = fr[3]
+                    names = node.names
+                    i = fr[2]
+                    if type(val) is _closure and val.name is None:
+                        val.name = names[i].name
+                    frame[i + 1] = val
+                    i += 1
+                    rhss = node.rhss
+                    n = len(rhss)
+                    while i < n and rhss[i].tag < 4:
+                        v = imm1(rhss[i], frame)
+                        if type(v) is _closure and v.name is None:
+                            v.name = names[i].name
+                        frame[i + 1] = v
+                        i += 1
+                    cenv = frame
+                    if i < n:
                         fr[2] = i
                         kont.append(fr)
                         control = rhss[i]
-                        cenv = lenv
-                        returning = False
-                        continue
-                cenv = vals
-                control = node.body
-                returning = False
-                continue
-            elif tag == 4:  # KF_LETREC
-                node = fr[1]
-                frame = fr[3]
-                names = node.names
-                i = fr[2]
-                if type(val) is _closure and val.name is None:
-                    val.name = names[i].name
-                frame[i + 1] = val
-                i += 1
-                rhss = node.rhss
-                n = len(rhss)
-                while i < n and rhss[i].tag < 4:
-                    v = imm1(rhss[i], frame)
-                    if type(v) is _closure and v.name is None:
-                        v.name = names[i].name
-                    frame[i + 1] = v
-                    i += 1
-                cenv = frame
-                if i < n:
-                    fr[2] = i
-                    kont.append(fr)
-                    control = rhss[i]
-                else:
-                    control = node.body
-                returning = False
-                continue
-            elif tag == 5:  # KF_SETLOCAL
-                f = fr[3]
-                d = fr[1]
-                while d:
-                    f = f[0]
-                    d -= 1
-                f[fr[2]] = val
-                val = VOID
-                continue
-            elif tag == 6:  # KF_SETGLOBAL
-                try:
-                    genv.set(fr[1], val)
-                except UnboundVariable as exc:
-                    raise SchemeError(str(exc)) from None
-                val = VOID
-                continue
-            elif tag == 7:  # KF_TERMC
-                if type(val) is _closure:
-                    val = TermWrapped(val, fr[1])
-                # term/c on primitives and other values is the identity
-                # ([Wrap-Prim]); already-wrapped closures keep their label.
-                continue
-            elif tag == 8:  # KF_RESTORE
-                restore_mut(mtable, fr[1], fr[2])
-                continue
-            else:  # pragma: no cover
-                raise SchemeError(f"unknown frame tag {tag}")
+                    else:
+                        control = node.body
+                    returning = False
+                    continue
+                elif tag == 5:  # KF_SETLOCAL
+                    f = fr[3]
+                    d = fr[1]
+                    while d:
+                        f = f[0]
+                        d -= 1
+                    f[fr[2]] = val
+                    val = VOID
+                    continue
+                elif tag == 6:  # KF_SETGLOBAL
+                    try:
+                        genv.set(fr[1], val)
+                    except UnboundVariable as exc:
+                        raise SchemeError(str(exc)) from None
+                    val = VOID
+                    continue
+                elif tag == 7:  # KF_TERMC
+                    if type(val) is _closure:
+                        val = TermWrapped(val, fr[1])
+                    # term/c on primitives and other values is the identity
+                    # ([Wrap-Prim]); already-wrapped closures keep their label.
+                    continue
+                elif tag == 8:  # KF_RESTORE
+                    restore_mut(mtable, fr[1], fr[2])
+                    continue
+                else:  # pragma: no cover
+                    raise SchemeError(f"unknown frame tag {tag}")
 
-        # -- APPLY: vals = [fn, arg...], loc set --------------------------------
-        # Charge fuel per argument: inline immediate evaluation skips loop
-        # iterations, so without this a fuel budget would admit several
-        # times more monitored calls than the tree machine's — fuel stays
-        # a machine-comparable bound on work, not on dispatch count.
-        if steps_left > 0:
-            n = len(vals) - 1
-            steps_left = steps_left - n if steps_left > n else 0
-        fn = vals[0]
-        while True:
-            tf = type(fn)
-            if tf is _closure:
-                clam = fn.lam
-                nargs = len(vals) - 1
-                if nargs != clam.nparams:
-                    raise SchemeError(
-                        f"{fn.describe()}: expected {clam.nparams} arguments,"
-                        f" got {nargs}",
-                        loc,
-                    )
-                if imperative:
-                    if s1 and not clam.discharged and (
-                            skips is None or clam.label not in skips) and (
-                            skip_should or monitor.should_monitor(fn)):
-                        if nargs == 1:
-                            args = (vals[1],)
-                        elif nargs == 2:
-                            args = (vals[1], vals[2])
-                        elif nargs == 3:
-                            args = (vals[1], vals[2], vals[3])
-                        else:
-                            args = tuple(vals[1:])
-                        if inline_upd:
-                            monitor.calls_seen += 1
-                            prev = mtable.get(fn, _MISS_ENTRY)
-                            if prev is not _MISS_ENTRY:
-                                mtable[fn] = advance(prev, fn, args, s2)
-                            elif fast_entry:
-                                mtable[fn] = _Entry(args, _EMPTY_FSET, 1, 2)
-                            else:
-                                mtable[fn] = initial_entry(fn, args)
-                            kont.append([KF_RESTORE, fn, prev, s1, s2])
-                        else:
-                            key, prev = monitor.upd_mut(mtable, fn, args, s2)
-                            kont.append([KF_RESTORE, key, prev, s1, s2])
-                elif s1 is not None:
-                    if not clam.discharged and (
-                            skips is None or clam.label not in skips) and (
-                            skip_should or monitor.should_monitor(fn)):
-                        if nargs == 1:
-                            args = (vals[1],)
-                        elif nargs == 2:
-                            args = (vals[1], vals[2])
-                        elif nargs == 3:
-                            args = (vals[1], vals[2], vals[3])
-                        else:
-                            args = tuple(vals[1:])
-                        if type(s1) is tuple:
-                            # Hybrid identity table: (base, clo, entry,
-                            # clo, entry, ...).  The flat part is scanned
-                            # with `is` — closures that actually recur
-                            # live there and pay no hashing; one-shot
-                            # closures go straight into the `base` HAMT
-                            # (slot 0), which the flat part shadows.
-                            monitor.calls_seen += 1
-                            L = len(s1)
-                            i = 1
-                            while i < L:
-                                if s1[i] is fn:
-                                    break
-                                i += 2
-                            if i < L:
-                                entry = advance(s1[i + 1], fn, args, s2)
-                                if L == 3:  # the one-loop common case
-                                    s1 = (s1[0], fn, entry)
-                                else:
-                                    s1 = s1[:i] + (fn, entry) + s1[i + 2:]
-                            else:
-                                base = s1[0]
-                                entry = None if base is None \
-                                    else base.get(fn)
-                                if entry is not None:
-                                    # Recurring closure whose flat copy
-                                    # was folded: advance and re-adopt
-                                    # (the stale base copy is shadowed,
-                                    # then overwritten on the next fold).
-                                    entry = advance(entry, fn, args, s2)
-                                elif fast_entry:
-                                    entry = _Entry(args, _EMPTY_FSET, 1, 2)
-                                else:
-                                    entry = initial_entry(fn, args)
-                                if L < _TABLE_PROMOTE:
-                                    s1 = s1 + (fn, entry)
-                                else:
-                                    if base is None:
-                                        base = Hamt.empty()
-                                    j = 1
-                                    while j < L:
-                                        base = base.set(s1[j], s1[j + 1])
-                                        j += 2
-                                    s1 = (base, fn, entry)
-                        else:
-                            s1 = monitor.upd(s1, fn, args, s2)
-                vals[0] = fn.env
-                cenv = vals
-                control = clam.body
-                returning = False
-                break
-            if tf is _prim:
-                nargs = len(vals) - 1
-                if nargs < fn.arity_min or (fn.arity_max is not None
-                                            and nargs > fn.arity_max):
-                    raise SchemeError(
-                        f"{fn.name}: arity mismatch with {nargs} arguments",
-                        loc,
-                    )
-                val = fn.fn(vals[1:])
-                returning = True
-                break
-            if tf is TermWrapped:
-                if monitored_modes:
-                    s2 = fn.blame
+            # -- APPLY: vals = [fn, arg...], loc set --------------------------------
+            # Charge fuel per argument: inline immediate evaluation skips loop
+            # iterations, so without this a fuel budget would admit several
+            # times more monitored calls than the tree machine's — fuel stays
+            # a machine-comparable bound on work, not on dispatch count.
+            if steps_left > 0:
+                n = len(vals) - 1
+                steps_left = steps_left - n if steps_left > n else 0
+            fn = vals[0]
+            while True:
+                tf = type(fn)
+                if tf is _closure:
+                    clam = fn.lam
+                    nargs = len(vals) - 1
+                    if nargs != clam.nparams:
+                        raise SchemeError(
+                            f"{fn.describe()}: expected {clam.nparams} arguments,"
+                            f" got {nargs}",
+                            loc,
+                        )
                     if imperative:
-                        s1 = True
-                    elif s1 is None:
-                        s1 = (None,) if inline_upd else Hamt.empty()
-                fn = fn.closure
-                continue
-            raise SchemeError(
-                f"application of a non-procedure: {write_value(fn)}", loc
-            )
+                        if s1 and not clam.discharged and (
+                                skips is None or clam.label not in skips) and (
+                                skip_should or monitor.should_monitor(fn)):
+                            if nargs == 1:
+                                args = (vals[1],)
+                            elif nargs == 2:
+                                args = (vals[1], vals[2])
+                            elif nargs == 3:
+                                args = (vals[1], vals[2], vals[3])
+                            else:
+                                args = tuple(vals[1:])
+                            if inline_upd:
+                                monitor.calls_seen += 1
+                                prev = mtable.get(fn, _MISS_ENTRY)
+                                if prev is not _MISS_ENTRY:
+                                    mtable[fn] = advance(prev, fn, args, s2)
+                                elif fast_entry:
+                                    mtable[fn] = _Entry(args, _EMPTY_FSET, 1, 2)
+                                else:
+                                    mtable[fn] = initial_entry(fn, args)
+                                kont.append([KF_RESTORE, fn, prev, s1, s2])
+                            else:
+                                key, prev = monitor.upd_mut(mtable, fn, args, s2)
+                                kont.append([KF_RESTORE, key, prev, s1, s2])
+                    elif s1 is not None:
+                        if not clam.discharged and (
+                                skips is None or clam.label not in skips) and (
+                                skip_should or monitor.should_monitor(fn)):
+                            if nargs == 1:
+                                args = (vals[1],)
+                            elif nargs == 2:
+                                args = (vals[1], vals[2])
+                            elif nargs == 3:
+                                args = (vals[1], vals[2], vals[3])
+                            else:
+                                args = tuple(vals[1:])
+                            if type(s1) is tuple:
+                                # Hybrid identity table: (base, clo, entry,
+                                # clo, entry, ...).  The flat part is scanned
+                                # with `is` — closures that actually recur
+                                # live there and pay no hashing; one-shot
+                                # closures go straight into the `base` HAMT
+                                # (slot 0), which the flat part shadows.
+                                monitor.calls_seen += 1
+                                L = len(s1)
+                                i = 1
+                                while i < L:
+                                    if s1[i] is fn:
+                                        break
+                                    i += 2
+                                if i < L:
+                                    entry = advance(s1[i + 1], fn, args, s2)
+                                    if L == 3:  # the one-loop common case
+                                        s1 = (s1[0], fn, entry)
+                                    else:
+                                        s1 = s1[:i] + (fn, entry) + s1[i + 2:]
+                                else:
+                                    base = s1[0]
+                                    entry = None if base is None \
+                                        else base.get(fn)
+                                    if entry is not None:
+                                        # Recurring closure whose flat copy
+                                        # was folded: advance and re-adopt
+                                        # (the stale base copy is shadowed,
+                                        # then overwritten on the next fold).
+                                        entry = advance(entry, fn, args, s2)
+                                    elif fast_entry:
+                                        entry = _Entry(args, _EMPTY_FSET, 1, 2)
+                                    else:
+                                        entry = initial_entry(fn, args)
+                                    if L < _TABLE_PROMOTE:
+                                        s1 = s1 + (fn, entry)
+                                    else:
+                                        if base is None:
+                                            base = Hamt.empty()
+                                        j = 1
+                                        while j < L:
+                                            base = base.set(s1[j], s1[j + 1])
+                                            j += 2
+                                        s1 = (base, fn, entry)
+                            else:
+                                s1 = monitor.upd(s1, fn, args, s2)
+                    vals[0] = fn.env
+                    cenv = vals
+                    control = clam.body
+                    returning = False
+                    break
+                if tf is _prim:
+                    nargs = len(vals) - 1
+                    if nargs < fn.arity_min or (fn.arity_max is not None
+                                                and nargs > fn.arity_max):
+                        raise SchemeError(
+                            f"{fn.name}: arity mismatch with {nargs} arguments",
+                            loc,
+                        )
+                    val = fn.fn(vals[1:])
+                    returning = True
+                    break
+                if tf is TermWrapped:
+                    if monitored_modes:
+                        s2 = fn.blame
+                        if imperative:
+                            s1 = True
+                        elif s1 is None:
+                            s1 = (None,) if inline_upd else Hamt.empty()
+                    fn = fn.closure
+                    continue
+                raise SchemeError(
+                    f"application of a non-procedure: {write_value(fn)}", loc
+                )
+    finally:
+        # Publish consumption on *every* exit path -- value, error,
+        # violation, exhaustion -- so a shared _Fuel stays accurate
+        # across top-level forms and callers can meter real spend.
+        fuel.left = steps_left
 
 
 # -- whole programs ------------------------------------------------------------
@@ -1096,6 +1106,20 @@ def run_program(
     deterministic fuel bound is distinguishable from every other non-value
     outcome.
 
+    Fuel-boundary contract (identical on both machines, and relied on by
+    the ``sized serve`` budget path):
+
+    * ``fuel=None`` — unlimited;
+    * ``fuel=0`` — immediate exhaustion: *no* machine step runs, the
+      answer is ``TIMEOUT`` with ``FuelExhausted(0)`` and ``steps == 0``;
+    * ``fuel=N`` — at most ``N`` steps; exhaustion reports the real limit
+      ``N``, never a clamped or defaulted figure.
+
+    ``answer.steps`` carries the steps actually consumed on **every**
+    outcome kind (value, rt-error, sc-error, timeout) whenever a budget
+    was given — error paths are metered too, so callers can charge
+    tenants for work that ended in an error.
+
     ``mode``: ``'off'`` (standard ⇓), ``'contract'`` (λCSCT), ``'full'``
     (λSCT).  ``strategy``: ``'cm'`` or ``'imperative'``.  ``machine``:
     ``'compiled'`` (lexical-addressing pass + slot-frame machine, the
@@ -1144,23 +1168,28 @@ def run_program(
     env.define(intern("newline"),
                Prim("newline", lambda a: _newline(output), 0, 0, pure=False))
 
-    fuel = _Fuel(max_steps)
+    budget = _Fuel(max_steps)
     mtable: dict = {}
     last = VOID
-    steps_used = 0
     compiled = machine == "compiled"
+
+    def spent() -> int:
+        # The eval loops publish fuel.left in a finally, so this is
+        # accurate on error/violation/timeout paths too.
+        return 0 if max_steps is None else max_steps - max(budget.left, 0)
+
     try:
         for form in program.forms:
             if compiled:
                 value = eval_code(
                     compile_code(form.expr, skip_labels), env, mode=mode,
-                    strategy=strategy, monitor=monitor, fuel=fuel,
+                    strategy=strategy, monitor=monitor, fuel=budget,
                     mtable=mtable,
                 )
             else:
                 value = eval_expr(
                     form.expr, env, mode=mode, strategy=strategy,
-                    monitor=monitor, fuel=fuel, mtable=mtable,
+                    monitor=monitor, fuel=budget, mtable=mtable,
                 )
             if isinstance(form, TopDefine):
                 if type(value) is Closure and value.name is None:
@@ -1169,16 +1198,18 @@ def run_program(
             else:
                 last = value
     except SchemeError as exc:
-        return Answer(Answer.RT_ERROR, error=exc, output="".join(output))
+        return Answer(Answer.RT_ERROR, error=exc, output="".join(output),
+                      steps=spent())
     except SizeChangeViolation as exc:
-        return Answer(Answer.SC_ERROR, violation=exc, output="".join(output))
+        return Answer(Answer.SC_ERROR, violation=exc,
+                      output="".join(output), steps=spent())
     except MachineTimeout as exc:
-        return Answer(Answer.TIMEOUT, error=exc, output="".join(output))
+        return Answer(Answer.TIMEOUT, error=exc, output="".join(output),
+                      steps=spent())
     finally:
         monitor.skip_labels = saved_skip_labels
-    if max_steps is not None:
-        steps_used = max_steps - max(fuel.left, 0)
-    return Answer(Answer.VALUE, value=last, output="".join(output), steps=steps_used)
+    return Answer(Answer.VALUE, value=last, output="".join(output),
+                  steps=spent())
 
 
 def run_source(

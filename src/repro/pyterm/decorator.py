@@ -81,6 +81,7 @@ def terminating(
     discharge: Optional[str] = None,
     kinds: Optional[Sequence[str]] = None,
     result_kind: Optional[str] = None,
+    cache=None,
 ):
     """Assert that ``fn`` is size-change terminating, dynamically.
 
@@ -115,6 +116,9 @@ def terminating(
       under the ``|·|`` order) and ``result_kind`` (the function's
       contract range, §4.2), and is cached content-addressed across
       decorations.
+    * ``cache`` — the :class:`~repro.analysis.discharge.VerificationCache`
+      certificates go through (injectable for isolation; default: the
+      process-wide fallback of ``default_cache()``).
 
     Usable bare (``@terminating``) or with options
     (``@terminating(backoff=True)``).
@@ -123,7 +127,7 @@ def terminating(
         return lambda f: terminating(
             f, order=order, backoff=backoff, measure=measure, blame=blame,
             deep=deep, graphs=graphs, discharge=discharge, kinds=kinds,
-            result_kind=result_kind,
+            result_kind=result_kind, cache=cache,
         )
     if graphs not in ("sc", "mc"):
         raise ValueError(f"graphs must be 'sc' or 'mc', got {graphs!r}")
@@ -134,7 +138,7 @@ def terminating(
     discharge_reason = None
     if discharge in ("auto", "require"):
         proven, discharge_reason = _discharge_statically(
-            fn, graphs, kinds, result_kind)
+            fn, graphs, kinds, result_kind, cache)
         if proven:
             fn.__sct_terminating__ = True
             fn.__sct_discharged__ = True
@@ -235,11 +239,12 @@ def terminating(
     return wrapper
 
 
-def _discharge_statically(fn, graphs: str, kinds, result_kind):
+def _discharge_statically(fn, graphs: str, kinds, result_kind, cache=None):
     """Translate ``fn`` to the embedded language and verify it; returns
-    ``(proven, reason_if_not)``.  Certificates go through the shared
-    content-addressed cache, so re-decorating the same source (module
-    reloads, spawned workers with an on-disk store) skips the verifier."""
+    ``(proven, reason_if_not)``.  Certificates go through the injected
+    content-addressed ``cache`` (default: the process-wide fallback), so
+    re-decorating the same source (module reloads, spawned workers with a
+    shared on-disk store) skips the verifier."""
     from repro.analysis.discharge import VerificationCache, default_cache
     from repro.pyterm.translate import Untranslatable, translate_function
 
@@ -258,7 +263,8 @@ def _discharge_statically(fn, graphs: str, kinds, result_kind):
     from repro.lang.parser import parse_program
 
     program = parse_program(source, source=f"<pyterm:{entry}>")
-    cache = default_cache()
+    if cache is None:
+        cache = default_cache()
     key = VerificationCache.key(source, entry, kinds, result_kinds,
                                 f"pyterm-{graphs}")
     certificate = cache.get(key, program)

@@ -1,0 +1,41 @@
+"""``sized serve`` — termination checking as a batched, multi-tenant
+service.
+
+The ROADMAP's "termination-checking as a service" item, concretely: a
+stdlib-only asyncio front-end (:mod:`repro.serve.server`) speaking a
+JSON-lines TCP protocol (:mod:`repro.serve.protocol`), deduplicating and
+batching requests by content-addressed cache key
+(:mod:`repro.serve.batching`), fanning work out to warm worker processes
+that each own a shard of the on-disk verification cache
+(:mod:`repro.serve.workers`), metering per-tenant fuel budgets
+(:mod:`repro.serve.budgets`), and reporting a metrics surface
+(:mod:`repro.serve.metrics`) via the ``stats`` request.
+
+Request lifecycle::
+
+    accept → admit (tenant budget) → dedupe/batch by key
+           → route to shard worker → verify-or-cache-hit
+           → residual run under fuel → settle budget → respond
+
+Faults degrade gracefully: a crashed or wall-clock-timed-out worker is
+killed and rebuilt, the affected request is requeued exactly once, and a
+second failure yields a structured error response — a misbehaving worker
+can neither wedge a batch nor drop a request.
+"""
+
+from repro.serve.budgets import TenantBudgets
+from repro.serve.client import AsyncServeClient, ServeClient
+from repro.serve.metrics import Metrics
+from repro.serve.protocol import request_key
+from repro.serve.server import ServeConfig, SizedServer, serve_main
+
+__all__ = [
+    "AsyncServeClient",
+    "Metrics",
+    "ServeClient",
+    "ServeConfig",
+    "SizedServer",
+    "TenantBudgets",
+    "request_key",
+    "serve_main",
+]

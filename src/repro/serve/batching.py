@@ -1,0 +1,71 @@
+"""Key-addressed dedupe/batching for the serve front-end.
+
+Identical jobs — equal :func:`repro.serve.protocol.request_key`, which
+covers program text, libraries, and every execution knob but *not* the
+tenant — are satisfied by a single worker execution.  The first arrival
+opens a batch and sleeps one batch window so concurrent duplicates can
+pile on; anything arriving while the job is still in flight joins too
+(in-flight dedupe costs nothing and catches stragglers the window
+missed).  When the shared result lands, every member gets it; each
+member still settles its *own* tenant budget and latency sample.
+
+A batch's dispatch failure (the structured error dict the dispatcher
+returns after its requeue budget is spent) is shared the same way a
+result is — a wedged batch is impossible because the future is always
+resolved in a ``finally``.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Awaitable, Callable, Dict, Tuple
+
+
+class _Batch:
+    __slots__ = ("future", "size")
+
+    def __init__(self, future: "asyncio.Future"):
+        self.future = future
+        self.size = 1
+
+
+class KeyedBatcher:
+    """``submit(key, job)`` → ``(shared result dict, batch_size,
+    joined)``."""
+
+    def __init__(self, window: float,
+                 dispatch: Callable[[str, dict], Awaitable[dict]]):
+        self.window = window
+        self.dispatch = dispatch
+        self._pending: Dict[str, _Batch] = {}
+
+    def pending(self) -> int:
+        return len(self._pending)
+
+    async def submit(self, key: str, job: dict) -> Tuple[dict, int, bool]:
+        batch = self._pending.get(key)
+        if batch is not None:
+            batch.size += 1
+            result = await asyncio.shield(batch.future)
+            return result, batch.size, True
+
+        loop = asyncio.get_running_loop()
+        batch = _Batch(loop.create_future())
+        self._pending[key] = batch
+        try:
+            if self.window > 0:
+                await asyncio.sleep(self.window)  # let duplicates pile on
+            result = await self.dispatch(key, job)
+        except BaseException as exc:  # incl. cancellation: never strand waiters
+            if not batch.future.done():
+                batch.future.set_exception(exc)
+            # keep the exception retrievable without "never retrieved"
+            # noise when this leader was the only member
+            batch.future.exception()
+            raise
+        else:
+            if not batch.future.done():
+                batch.future.set_result(result)
+            return result, batch.size, False
+        finally:
+            self._pending.pop(key, None)

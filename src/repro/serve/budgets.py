@@ -1,0 +1,84 @@
+"""Per-tenant fuel budgets with reserve/settle accounting.
+
+The server admits a request by *reserving* its effective fuel against
+the tenant's remaining budget and *settles* on completion, refunding
+whatever the run did not consume (``Answer.steps`` is metered on every
+outcome kind, including errors — see :func:`repro.eval.machine.
+run_program`).  Reserving up front means concurrent requests cannot
+overdraw a budget: admission is decided against what is genuinely left.
+
+The fuel-boundary contract matches the machines exactly: a request for
+``fuel: 0`` is *admitted* and runs to immediate exhaustion (a structured
+``timeout`` answer with ``steps == 0``); only a tenant whose remaining
+budget is already ``<= 0`` gets the ``budget-exhausted`` service error.
+An unlimited request (``fuel: null``) against a finite budget is clamped
+to the tenant's remaining fuel — admission control, not rejection.
+
+All methods run on the event loop thread; no locking is needed.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+
+class TenantBudgets:
+    """Fuel ledger: ``default_budget`` steps granted per tenant
+    (``None`` = unlimited — spend is still metered for the stats
+    surface)."""
+
+    def __init__(self, default_budget: Optional[int] = None):
+        self.default_budget = default_budget
+        self._remaining: Dict[str, int] = {}
+        self._spent: Dict[str, int] = {}
+        self._rejected: Dict[str, int] = {}
+
+    def remaining(self, tenant: str) -> Optional[int]:
+        if self.default_budget is None:
+            return None
+        return self._remaining.setdefault(tenant, self.default_budget)
+
+    def admit(self, tenant: str, fuel: Optional[int]
+              ) -> Tuple[bool, Optional[int], Optional[str]]:
+        """``(admitted, effective_fuel, reason)``.  On admission the
+        effective fuel is reserved; the caller must :meth:`settle`."""
+        if self.default_budget is None:
+            return True, fuel, None
+        left = self.remaining(tenant)
+        if left <= 0:
+            self._rejected[tenant] = self._rejected.get(tenant, 0) + 1
+            return False, None, (
+                f"tenant {tenant!r} has no fuel left "
+                f"(budget {self.default_budget}, spent "
+                f"{self._spent.get(tenant, 0)})")
+        effective = left if fuel is None else min(fuel, left)
+        self._remaining[tenant] = left - effective
+        return True, effective, None
+
+    def settle(self, tenant: str, reserved: Optional[int],
+               steps: int) -> None:
+        """Refund the unspent part of a reservation and record spend."""
+        steps = max(steps, 0)
+        if self.default_budget is None:
+            self._spent[tenant] = self._spent.get(tenant, 0) + steps
+            return
+        if reserved is not None:
+            spent = min(steps, reserved)
+            self._remaining[tenant] = (
+                self._remaining.get(tenant, 0) + (reserved - spent))
+            self._spent[tenant] = self._spent.get(tenant, 0) + spent
+
+    def snapshot(self) -> dict:
+        tenants = sorted(set(self._spent) | set(self._remaining)
+                         | set(self._rejected))
+        return {
+            "default_budget": self.default_budget,
+            "tenants": {
+                t: {
+                    "spent": self._spent.get(t, 0),
+                    "remaining": self.remaining(t),
+                    "rejected": self._rejected.get(t, 0),
+                }
+                for t in tenants
+            },
+        }

@@ -1,0 +1,114 @@
+"""Clients for the ``sized serve`` JSON-lines protocol.
+
+:class:`AsyncServeClient` multiplexes any number of in-flight requests
+over one connection (a reader task resolves futures by ``id``) — the
+shape ``bench_serve.py`` uses to hold thousands of concurrent requests
+open.  :class:`ServeClient` is the synchronous convenience wrapper for
+tests and scripts: one request outstanding at a time, so the next line
+is always the matching response.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import itertools
+import json
+import socket
+from typing import Dict, Optional
+
+from repro.serve import protocol
+
+
+class AsyncServeClient:
+    def __init__(self, reader: asyncio.StreamReader,
+                 writer: asyncio.StreamWriter, tag: str = "c"):
+        self._reader = reader
+        self._writer = writer
+        self._ids = itertools.count(1)
+        self._tag = tag
+        self._waiters: Dict[str, asyncio.Future] = {}
+        self._reader_task = asyncio.ensure_future(self._read_loop())
+        self._closed = False
+
+    @classmethod
+    async def connect(cls, host: str, port: int,
+                      tag: str = "c") -> "AsyncServeClient":
+        reader, writer = await asyncio.open_connection(
+            host, port, limit=protocol.MAX_LINE)
+        return cls(reader, writer, tag=tag)
+
+    async def _read_loop(self) -> None:
+        try:
+            while True:
+                line = await self._reader.readline()
+                if not line:
+                    break
+                try:
+                    response = json.loads(line)
+                except ValueError:
+                    continue
+                waiter = self._waiters.pop(response.get("id"), None)
+                if waiter is not None and not waiter.done():
+                    waiter.set_result(response)
+        except (ConnectionError, asyncio.CancelledError, ValueError):
+            pass
+        finally:
+            self._closed = True
+            for waiter in self._waiters.values():
+                if not waiter.done():
+                    waiter.set_exception(
+                        ConnectionError("serve connection closed"))
+            self._waiters.clear()
+
+    async def request(self, obj: dict,
+                      timeout: Optional[float] = None) -> dict:
+        if self._closed:
+            raise ConnectionError("serve connection closed")
+        obj = dict(obj)
+        rid = obj.setdefault("id", f"{self._tag}-{next(self._ids)}")
+        future = asyncio.get_running_loop().create_future()
+        self._waiters[rid] = future
+        self._writer.write(protocol.encode(obj))
+        await self._writer.drain()
+        if timeout is None:
+            return await future
+        return await asyncio.wait_for(future, timeout)
+
+    async def close(self) -> None:
+        self._reader_task.cancel()
+        try:
+            self._writer.close()
+            await self._writer.wait_closed()
+        except Exception:
+            pass
+
+
+class ServeClient:
+    """Blocking, single-in-flight client."""
+
+    def __init__(self, host: str, port: int, timeout: float = 120.0):
+        self._sock = socket.create_connection((host, port), timeout=timeout)
+        self._file = self._sock.makefile("rwb")
+        self._ids = itertools.count(1)
+
+    def request(self, obj: dict) -> dict:
+        obj = dict(obj)
+        obj.setdefault("id", f"sync-{next(self._ids)}")
+        self._file.write(protocol.encode(obj))
+        self._file.flush()
+        line = self._file.readline()
+        if not line:
+            raise ConnectionError("serve connection closed")
+        return json.loads(line)
+
+    def close(self) -> None:
+        try:
+            self._file.close()
+        finally:
+            self._sock.close()
+
+    def __enter__(self) -> "ServeClient":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

@@ -1,0 +1,114 @@
+"""The serve metrics surface: counters, batch shapes, latency
+percentiles — everything the ``stats`` request and ``BENCH_serve.json``
+report.
+
+Latencies are kept in a bounded reservoir (the most recent
+``latency_cap`` samples) so a long-lived server's stats stay O(1) in
+memory; percentiles are computed on snapshot, not on record.
+All methods run on the event loop thread; no locking.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import deque
+from typing import Deque, Dict
+
+
+def percentile(samples, q: float) -> float:
+    """Nearest-rank percentile of a non-empty sorted list."""
+    idx = min(int(q * (len(samples) - 1) + 0.5), len(samples) - 1)
+    return samples[idx]
+
+
+class Metrics:
+    def __init__(self, latency_cap: int = 100_000):
+        self.started = time.monotonic()
+        self.requests: Dict[str, int] = {}      # op → count
+        self.responses_ok = 0
+        self.responses_error: Dict[str, int] = {}  # error.type → count
+        self.cache_hits = 0
+        self.cache_misses = 0
+        self.cache_rejected = 0
+        self.batches = 0
+        self.batched_requests = 0
+        self.max_batch = 0
+        self.worker_crashes = 0
+        self.request_timeouts = 0
+        self.requeues = 0
+        self.rebuilds = 0
+        self._latencies: Deque[float] = deque(maxlen=latency_cap)
+
+    # -- recording ----------------------------------------------------------
+
+    def record_request(self, op: str) -> None:
+        self.requests[op] = self.requests.get(op, 0) + 1
+
+    def record_response(self, response: dict) -> None:
+        if response.get("ok"):
+            self.responses_ok += 1
+        else:
+            etype = (response.get("error") or {}).get("type", "unknown")
+            self.responses_error[etype] = \
+                self.responses_error.get(etype, 0) + 1
+
+    def record_latency(self, seconds: float) -> None:
+        self._latencies.append(seconds * 1000.0)
+
+    def record_batch(self, size: int) -> None:
+        self.batches += 1
+        self.batched_requests += size
+        if size > self.max_batch:
+            self.max_batch = size
+
+    def record_cache(self, hits: int, misses: int, rejected: int) -> None:
+        self.cache_hits += hits
+        self.cache_misses += misses
+        self.cache_rejected += rejected
+
+    # -- reporting ----------------------------------------------------------
+
+    def snapshot(self) -> dict:
+        lat = sorted(self._latencies)
+        elapsed = time.monotonic() - self.started
+        total_responses = self.responses_ok + \
+            sum(self.responses_error.values())
+        lookups = self.cache_hits + self.cache_misses
+        return {
+            "uptime_s": round(elapsed, 3),
+            "requests": dict(sorted(self.requests.items())),
+            "responses": {
+                "ok": self.responses_ok,
+                "error": dict(sorted(self.responses_error.items())),
+                "total": total_responses,
+            },
+            "throughput_rps": round(total_responses / elapsed, 2)
+            if elapsed > 0 else 0.0,
+            "cache": {
+                "hits": self.cache_hits,
+                "misses": self.cache_misses,
+                "rejected": self.cache_rejected,
+                "hit_rate": round(self.cache_hits / lookups, 4)
+                if lookups else None,
+            },
+            "batches": {
+                "dispatched": self.batches,
+                "requests": self.batched_requests,
+                "max_size": self.max_batch,
+                "mean_size": round(self.batched_requests / self.batches, 3)
+                if self.batches else None,
+            },
+            "latency_ms": {
+                "count": len(lat),
+                "p50": round(percentile(lat, 0.50), 3) if lat else None,
+                "p99": round(percentile(lat, 0.99), 3) if lat else None,
+                "max": round(lat[-1], 3) if lat else None,
+                "mean": round(sum(lat) / len(lat), 3) if lat else None,
+            },
+            "workers": {
+                "crashes": self.worker_crashes,
+                "request_timeouts": self.request_timeouts,
+                "requeues": self.requeues,
+                "rebuilds": self.rebuilds,
+            },
+        }

@@ -1,0 +1,124 @@
+"""The ``sized serve`` wire protocol: JSON objects, one per line.
+
+Requests
+--------
+
+Every request is a single JSON object terminated by ``\\n``.  Common
+fields: ``id`` (echoed verbatim in the response; assigned when absent)
+and ``op``.  Ops:
+
+``run``
+    ``program`` (source text, required), ``tenant`` (default
+    ``"anonymous"``), ``fuel`` (int step budget; ``0`` = immediate
+    exhaustion, ``null`` = unlimited, absent = the server default),
+    ``mode`` (``off|contract|full``, default ``contract``),
+    ``discharge`` (``off|try``, default ``try``), ``mc`` (bool).
+``verify``
+    ``program`` plus either nothing (the workload entries are inferred
+    from the top-level calls, as ``--discharge`` does) or an explicit
+    ``entry`` with ``kinds``/``result_kinds``; ``mc`` selects
+    monotonicity-constraint evidence.
+``stats``
+    The metrics surface: request/response counters, cache hit/miss/
+    rejected totals, batch sizes, latency percentiles, worker faults,
+    per-tenant fuel spend.
+``ping`` / ``shutdown``
+    Liveness probe / graceful stop (the listener closes after in-flight
+    requests settle).
+``crash``
+    Fault injection (only when the server was started with
+    ``--allow-fault-injection``): the routed worker calls ``os._exit``.
+    With ``"once": true`` and a ``marker`` path the worker dies only
+    while the marker file does not exist — the requeued attempt
+    succeeds, which is how the crash-recovery path is tested end to end.
+
+Responses
+---------
+
+``{"id": ..., "ok": true, ...}`` for served requests — note a run that
+ended in a violation, run-time error, or fuel exhaustion is still
+``ok: true``: the *service* did its job; ``kind`` carries the outcome
+(``value|rt-error|sc-error|timeout``) and ``exit`` the CLI-equivalent
+exit code.  ``{"id": ..., "ok": false, "error": {"type": ..., "message":
+...}}`` for failures of the service itself; ``error.type`` is one of
+``bad-request``, ``budget-exhausted``, ``worker-crash``, ``timeout``,
+``fault-injection-disabled``, ``shutting-down``.
+
+Responses may be written out of request order (requests on one
+connection are served concurrently); match on ``id``.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from typing import Optional, Tuple
+
+# error.type values for service-level failures
+E_BAD_REQUEST = "bad-request"
+E_BUDGET = "budget-exhausted"
+E_CRASH = "worker-crash"
+E_TIMEOUT = "timeout"
+E_FAULTS_OFF = "fault-injection-disabled"
+E_SHUTDOWN = "shutting-down"
+
+# Answer.kind → the `sized run` exit code (the README matrix).
+EXIT_CODES = {"value": 0, "rt-error": 1, "sc-error": 3, "timeout": 4}
+
+MAX_LINE = 8 * 1024 * 1024  # one request line; programs are small
+
+
+def encode(obj: dict) -> bytes:
+    return (json.dumps(obj, separators=(",", ":")) + "\n").encode()
+
+
+def decode(line: bytes) -> dict:
+    obj = json.loads(line)
+    if not isinstance(obj, dict):
+        raise ValueError("request must be a JSON object")
+    return obj
+
+
+def error_response(rid, etype: str, message: str, **extra) -> dict:
+    err = {"type": etype, "message": message}
+    err.update(extra)
+    return {"id": rid, "ok": False, "error": err}
+
+
+def request_key(job: dict) -> str:
+    """Content-address one run/verify job for dedupe/batching and shard
+    routing.
+
+    Same discipline as :meth:`repro.analysis.discharge.VerificationCache.
+    key`: the digest covers everything the answer depends on — program
+    text, the shared library sources, and every execution knob (op, mode,
+    discharge, evidence, effective fuel, explicit entry/kinds) — and
+    nothing it does not (tenant, request id).  Two requests with equal
+    keys are satisfied by one execution.
+    """
+    from repro.analysis.discharge import _libraries_digest
+
+    payload = json.dumps({
+        "program_sha256":
+            hashlib.sha256(job["program"].encode()).hexdigest(),
+        "libraries_sha256": _libraries_digest(),
+        "op": job["op"],
+        "mode": job.get("mode"),
+        "discharge": job.get("discharge"),
+        "mc": bool(job.get("mc")),
+        "fuel": job.get("fuel"),
+        "entry": job.get("entry"),
+        "kinds": list(job.get("kinds") or ()),
+        "result_kinds": sorted((job.get("result_kinds") or {}).items()),
+    }, sort_keys=True)
+    return hashlib.sha256(payload.encode()).hexdigest()
+
+
+def validate_fuel(value) -> Tuple[bool, Optional[int]]:
+    """``(ok, fuel)`` — fuel must be ``null`` (unlimited) or an int ≥ 0
+    (``0`` = immediate exhaustion, same contract as ``run_program``)."""
+    if value is None:
+        return True, None
+    if isinstance(value, bool) or not isinstance(value, int) or value < 0:
+        return False, None
+    return True, value

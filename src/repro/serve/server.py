@@ -1,0 +1,361 @@
+"""The ``sized serve`` asyncio front-end.
+
+Single event loop, JSON-lines TCP (see :mod:`repro.serve.protocol`);
+requests on one connection are served concurrently and responses are
+matched by ``id``.  The data path is::
+
+    handle_request → budget admit → request_key → KeyedBatcher.submit
+                   → _dispatch (shard route, wall-clock timeout,
+                      crash/timeout requeue-once) → settle → respond
+
+Every failure mode resolves to a structured response: a worker crash or
+wall-clock timeout kills and rebuilds the shard's warm worker, requeues
+the batch exactly once, and a second failure returns ``error.type``
+``worker-crash``/``timeout`` to every batch member.  Nothing is dropped
+and nothing wedges — the contract ``bench_serve.py`` and the CI smoke
+gate on.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import os
+from concurrent.futures import BrokenExecutor
+from typing import Optional
+
+from repro.serve import protocol
+from repro.serve.batching import KeyedBatcher
+from repro.serve.budgets import TenantBudgets
+from repro.serve.metrics import Metrics
+from repro.serve.workers import ShardPool
+
+
+class ServeConfig:
+    """Knobs for one server instance (all have production-ish defaults;
+    the CLI maps flags onto these 1:1)."""
+
+    __slots__ = ("host", "port", "workers", "batch_window_ms",
+                 "default_fuel", "tenant_budget", "request_timeout",
+                 "cache_dir", "shard_depth", "allow_fault_injection")
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 8737,
+                 workers: Optional[int] = None,
+                 batch_window_ms: float = 2.0,
+                 default_fuel: Optional[int] = 5_000_000,
+                 tenant_budget: Optional[int] = None,
+                 request_timeout: float = 60.0,
+                 cache_dir: Optional[str] = None,
+                 shard_depth: int = 2,
+                 allow_fault_injection: bool = False):
+        self.host = host
+        self.port = port
+        self.workers = workers or min(4, max(os.cpu_count() or 1, 1))
+        self.batch_window_ms = batch_window_ms
+        self.default_fuel = default_fuel
+        self.tenant_budget = tenant_budget
+        self.request_timeout = request_timeout
+        self.cache_dir = cache_dir
+        self.shard_depth = shard_depth
+        self.allow_fault_injection = allow_fault_injection
+
+    def snapshot(self) -> dict:
+        return {name: getattr(self, name) for name in self.__slots__}
+
+
+class SizedServer:
+    def __init__(self, config: ServeConfig):
+        self.config = config
+        self.metrics = Metrics()
+        self.budgets = TenantBudgets(config.tenant_budget)
+        self.batcher = KeyedBatcher(config.batch_window_ms / 1000.0,
+                                    self._dispatch)
+        self.pools = []
+        self._server: Optional[asyncio.base_events.Server] = None
+        self._stopping = asyncio.Event()
+        self._crash_rr = 0  # round-robin shard for un-keyed crash ops
+        self._auto_id = 0
+
+    # -- lifecycle ----------------------------------------------------------
+
+    @property
+    def port(self) -> int:
+        return self._server.sockets[0].getsockname()[1]
+
+    async def start(self) -> None:
+        self.pools = [
+            ShardPool(i, self.config.cache_dir, self.config.shard_depth)
+            for i in range(self.config.workers)
+        ]
+        self._server = await asyncio.start_server(
+            self._handle_conn, self.config.host, self.config.port,
+            limit=protocol.MAX_LINE)
+
+    async def wait_stopped(self) -> None:
+        await self._stopping.wait()
+
+    async def stop(self) -> None:
+        self._stopping.set()
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        for pool in self.pools:
+            pool.shutdown()
+
+    # -- connection handling ------------------------------------------------
+
+    async def _handle_conn(self, reader: asyncio.StreamReader,
+                           writer: asyncio.StreamWriter) -> None:
+        write_lock = asyncio.Lock()
+        tasks = set()
+        try:
+            while True:
+                try:
+                    line = await reader.readline()
+                except (asyncio.LimitOverrunError, ValueError):
+                    await self._write(writer, write_lock,
+                                      protocol.error_response(
+                                          None, protocol.E_BAD_REQUEST,
+                                          "request line too long"))
+                    break
+                if not line:
+                    break
+                if not line.strip():
+                    continue
+                task = asyncio.ensure_future(
+                    self._serve_line(line, writer, write_lock))
+                tasks.add(task)
+                task.add_done_callback(tasks.discard)
+        except (ConnectionError, asyncio.CancelledError):
+            pass
+        finally:
+            if tasks:
+                await asyncio.gather(*tasks, return_exceptions=True)
+            try:
+                writer.close()
+                await writer.wait_closed()
+            except Exception:
+                pass
+
+    async def _serve_line(self, line: bytes, writer, write_lock) -> None:
+        rid = None
+        try:
+            request = protocol.decode(line)
+            rid = request.get("id")
+            if rid is None:
+                self._auto_id += 1
+                rid = f"auto-{self._auto_id}"
+                request["id"] = rid
+            response = await self.handle_request(request)
+        except asyncio.CancelledError:
+            raise
+        except Exception as exc:
+            response = protocol.error_response(
+                rid, protocol.E_BAD_REQUEST,
+                f"{type(exc).__name__}: {exc}")
+        self.metrics.record_response(response)
+        await self._write(writer, write_lock, response)
+
+    @staticmethod
+    async def _write(writer, write_lock, response: dict) -> None:
+        try:
+            async with write_lock:
+                writer.write(protocol.encode(response))
+                await writer.drain()
+        except (ConnectionError, asyncio.CancelledError):
+            pass
+
+    # -- request handling ---------------------------------------------------
+
+    async def handle_request(self, request: dict) -> dict:
+        loop = asyncio.get_running_loop()
+        started = loop.time()
+        rid = request.get("id")
+        op = request.get("op")
+        self.metrics.record_request(str(op))
+        try:
+            if op == "ping":
+                return {"id": rid, "ok": True, "pong": True}
+            if op == "stats":
+                return {"id": rid, "ok": True, "stats": self.stats()}
+            if op == "shutdown":
+                self._stopping.set()
+                return {"id": rid, "ok": True, "stopping": True}
+            if op == "crash":
+                return await self._handle_crash(request)
+            if op in ("run", "verify"):
+                return await self._handle_job(request)
+            return protocol.error_response(
+                rid, protocol.E_BAD_REQUEST, f"unknown op {op!r}")
+        finally:
+            self.metrics.record_latency(loop.time() - started)
+
+    async def _handle_job(self, request: dict) -> dict:
+        rid = request.get("id")
+        if self._stopping.is_set():
+            return protocol.error_response(
+                rid, protocol.E_SHUTDOWN, "server is shutting down")
+        program = request.get("program")
+        if not isinstance(program, str) or not program.strip():
+            return protocol.error_response(
+                rid, protocol.E_BAD_REQUEST,
+                "'program' must be non-empty source text")
+        ok, fuel = protocol.validate_fuel(
+            request.get("fuel", self.config.default_fuel))
+        if not ok:
+            return protocol.error_response(
+                rid, protocol.E_BAD_REQUEST,
+                "'fuel' must be null or an int >= 0")
+        tenant = str(request.get("tenant", "anonymous"))
+
+        admitted, effective_fuel, reason = self.budgets.admit(tenant, fuel)
+        if not admitted:
+            return protocol.error_response(
+                rid, protocol.E_BUDGET, reason,
+                tenant=tenant, remaining=self.budgets.remaining(tenant))
+
+        job = {
+            "op": request["op"],
+            "program": program,
+            "fuel": effective_fuel,
+            "mode": request.get("mode", "contract"),
+            "discharge": request.get("discharge", "try"),
+            "mc": bool(request.get("mc")),
+            "entry": request.get("entry"),
+            "kinds": request.get("kinds"),
+            "result_kinds": request.get("result_kinds"),
+        }
+        if job["mode"] not in ("off", "contract", "full") or \
+                job["discharge"] not in ("off", "try"):
+            self.budgets.settle(tenant, effective_fuel, 0)
+            return protocol.error_response(
+                rid, protocol.E_BAD_REQUEST,
+                "mode must be off|contract|full, discharge off|try")
+        key = protocol.request_key(job)
+        try:
+            result, batch_size, joined = await self.batcher.submit(key, job)
+        except BaseException:
+            # settle even on cancellation: reservations must not leak
+            self.budgets.settle(tenant, effective_fuel, 0)
+            raise
+        steps = result.get("steps", 0) if result.get("ok") else 0
+        self.budgets.settle(tenant, effective_fuel, steps)
+        if not joined:
+            # the leader sees the final batch size once the result lands;
+            # one record per execution, not per member
+            self.metrics.record_batch(batch_size)
+            cache = result.get("cache") or {}
+            self.metrics.record_cache(cache.get("hits", 0),
+                                      cache.get("misses", 0),
+                                      cache.get("rejected", 0))
+        response = dict(result)
+        response["id"] = rid
+        response["tenant"] = tenant
+        response["batched"] = joined
+        response["key"] = key[:16]
+        return response
+
+    async def _handle_crash(self, request: dict) -> dict:
+        rid = request.get("id")
+        if not self.config.allow_fault_injection:
+            return protocol.error_response(
+                rid, protocol.E_FAULTS_OFF,
+                "start the server with --allow-fault-injection to use "
+                "op=crash")
+        shard = request.get("shard")
+        if not isinstance(shard, int) or not (0 <= shard < len(self.pools)):
+            self._crash_rr = (self._crash_rr + 1) % len(self.pools)
+            shard = self._crash_rr
+        job = {"op": "crash", "once": bool(request.get("once")),
+               "marker": request.get("marker")}
+        result = await self._dispatch_to_shard(shard, job)
+        response = dict(result)
+        response["id"] = rid
+        response["shard"] = shard
+        return response
+
+    # -- dispatch -----------------------------------------------------------
+
+    def _route(self, key: str) -> int:
+        return int(key[:8], 16) % len(self.pools)
+
+    async def _dispatch(self, key: str, job: dict) -> dict:
+        return await self._dispatch_to_shard(self._route(key), job)
+
+    async def _dispatch_to_shard(self, shard: int, job: dict) -> dict:
+        """Run one job on its shard's warm worker: wall-clock bounded,
+        crash/timeout rebuilds the worker and requeues exactly once."""
+        pool = self.pools[shard]
+        last_error = (protocol.E_CRASH, "worker unavailable")
+        for attempt in (1, 2):
+            generation = pool.generation
+            try:
+                future = asyncio.wrap_future(pool.submit(job))
+            except Exception as exc:  # racing a crash: executor broken
+                self._rebuild(pool, generation)
+                last_error = (protocol.E_CRASH,
+                              f"worker pool broken: {exc}")
+            else:
+                try:
+                    return await asyncio.wait_for(
+                        future, self.config.request_timeout)
+                # NB: TimeoutError must be tried before OSError — since
+                # 3.10 asyncio.TimeoutError IS the builtin TimeoutError,
+                # an OSError subclass.
+                except asyncio.TimeoutError:
+                    self.metrics.request_timeouts += 1
+                    pool.kill()  # the worker is wedged; stop it for real
+                    self._rebuild(pool, generation)
+                    last_error = (
+                        protocol.E_TIMEOUT,
+                        f"request exceeded the "
+                        f"{self.config.request_timeout}s wall-clock "
+                        f"limit; worker recycled")
+                except (BrokenExecutor, OSError) as exc:
+                    self.metrics.worker_crashes += 1
+                    self._rebuild(pool, generation)
+                    last_error = (protocol.E_CRASH,
+                                  f"worker died mid-request: "
+                                  f"{type(exc).__name__}: {exc}")
+            if attempt == 1:
+                self.metrics.requeues += 1
+        return protocol.error_response(
+            None, last_error[0], last_error[1],
+            shard=shard, requeued=True)
+
+    def _rebuild(self, pool: ShardPool, generation: int) -> None:
+        if pool.rebuild_if(generation):
+            self.metrics.rebuilds += 1
+
+    # -- the stats surface --------------------------------------------------
+
+    def stats(self) -> dict:
+        snap = self.metrics.snapshot()
+        snap["config"] = self.config.snapshot()
+        snap["budgets"] = self.budgets.snapshot()
+        snap["shards"] = {
+            "count": len(self.pools),
+            "generations": [p.generation for p in self.pools],
+        }
+        snap["pending_batches"] = self.batcher.pending()
+        return snap
+
+
+async def serve_main(config: ServeConfig, *, announce=print) -> int:
+    """Start, announce ``listening on HOST:PORT`` (parsed by
+    ``bench_serve.py`` and ``make serve-smoke``), run until a shutdown
+    request or cancellation, then drain."""
+    server = SizedServer(config)
+    await server.start()
+    announce(f"sized serve listening on {config.host}:{server.port} "
+             f"({config.workers} workers, shard_depth="
+             f"{config.shard_depth})", flush=True)
+    try:
+        await server.wait_stopped()
+        # grace period: let the shutdown response (and any racing
+        # responses) flush before the pools go down
+        await asyncio.sleep(0.2)
+    except asyncio.CancelledError:
+        pass
+    finally:
+        await server.stop()
+    return 0

@@ -13,6 +13,7 @@ The differential claims are the PR's acceptance contract:
 """
 
 import json
+import os
 
 import pytest
 
@@ -194,6 +195,86 @@ class TestVerificationCache:
         base = VerificationCache.key("(f)", "f", ("nat",), None, "sc")
         monkeypatch.setattr(mod, "_LIBRARIES_DIGEST", "different")
         assert VerificationCache.key("(f)", "f", ("nat",), None, "sc") != base
+
+
+class TestCacheQuarantine:
+    """Corrupt on-disk entries are quarantined, not crashed on and not
+    silently re-counted as misses."""
+
+    def _populate(self, store):
+        prog = next(p for p in PROGRAMS if p.name == "sct-1")
+        cache = VerificationCache(store)
+        parsed = parse_program(prog.source)
+        discharge_for_run(parsed, text=prog.source, cache=cache)
+        (entry,) = [f for f in os.listdir(store) if f.endswith(".json")]
+        return prog, os.path.join(store, entry)
+
+    def test_truncated_json_is_quarantined(self, tmp_path):
+        store = str(tmp_path / "certs")
+        prog, entry = self._populate(store)
+        good = open(entry).read()
+        with open(entry, "w") as f:
+            f.write(good[: len(good) // 2])  # truncated mid-object
+        cache = VerificationCache(store)
+        parsed = parse_program(prog.source)
+        r = discharge_for_run(parsed, text=prog.source, cache=cache)
+        assert r.complete  # re-verified from scratch
+        # Each lookup counts exactly once: this one was a *rejection*,
+        # not a miss (hits + misses + rejected == lookups).
+        assert cache.rejected == 1
+        assert cache.misses == 0 and cache.hits == 0
+        assert os.path.exists(entry + ".rejected")
+        # put() self-healed the store: a third cache hits cleanly.
+        c3 = VerificationCache(store)
+        discharge_for_run(parse_program(prog.source), text=prog.source,
+                          cache=c3)
+        assert c3.hits == 1 and c3.rejected == 0
+
+    def test_schema_mismatch_is_quarantined(self, tmp_path):
+        store = str(tmp_path / "certs")
+        prog, entry = self._populate(store)
+        data = json.loads(open(entry).read())
+        data["schema"] = "discharge-certificate/v999"
+        with open(entry, "w") as f:
+            f.write(json.dumps(data))
+        cache = VerificationCache(store)
+        discharge_for_run(parse_program(prog.source), text=prog.source,
+                          cache=cache)
+        assert cache.rejected == 1 and cache.hits == 0
+
+    def test_reset_and_snapshot(self, tmp_path):
+        store = str(tmp_path / "certs")
+        prog, _ = self._populate(store)
+        cache = VerificationCache(store)
+        parsed = parse_program(prog.source)
+        discharge_for_run(parsed, text=prog.source, cache=cache)
+        discharge_for_run(parsed, text=prog.source, cache=cache)
+        snap = cache.snapshot()
+        assert snap["hits"] >= 1 and snap["entries"] >= 1
+        assert snap["path"] == store and snap["rejected"] == 0
+        cache.reset()
+        snap = cache.snapshot()
+        assert snap == {"hits": 0, "misses": 0, "rejected": 0,
+                        "entries": 0, "path": store, "shard_depth": 0}
+
+    def test_sharded_layout(self, tmp_path):
+        prog = next(p for p in PROGRAMS if p.name == "sct-1")
+        store = str(tmp_path / "certs")
+        cache = VerificationCache(store, shard_depth=2)
+        parsed = parse_program(prog.source)
+        discharge_for_run(parsed, text=prog.source, cache=cache)
+        subdirs = [d for d in os.listdir(store)
+                   if os.path.isdir(os.path.join(store, d))]
+        assert len(subdirs) == 1 and len(subdirs[0]) == 2
+        # A differently-sharded reader misses; a same-sharded one hits.
+        flat = VerificationCache(store)
+        discharge_for_run(parse_program(prog.source), text=prog.source,
+                          cache=flat)
+        assert flat.hits == 0 and flat.misses == 1
+        sharded = VerificationCache(store, shard_depth=2)
+        discharge_for_run(parse_program(prog.source), text=prog.source,
+                          cache=sharded)
+        assert sharded.hits == 1
 
 
 class TestMonitorSkipSet:

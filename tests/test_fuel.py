@@ -46,6 +46,118 @@ class TestFuel:
         assert a.kind == Answer.VALUE and a.value == 42
 
 
+@pytest.mark.parametrize("machine", MACHINES)
+class TestFuelBoundaries:
+    """The fuel contract at its edges — identical on both machines:
+    ``fuel=0`` is immediate exhaustion, the reported limit is the real
+    limit, ``Answer.steps`` is metered on *every* outcome kind, and the
+    completes/exhausts boundary is exact."""
+
+    def test_fuel_zero_is_immediate_exhaustion(self, machine):
+        a = run_source(QUICK, mode="off", fuel=0, machine=machine)
+        assert a.kind == Answer.TIMEOUT
+        assert isinstance(a.error, FuelExhausted)
+        assert a.steps == 0
+        assert "after 0 steps" in str(a.error)
+
+    def test_fuel_one(self, machine):
+        a = run_source(QUICK, mode="off", fuel=1, machine=machine)
+        assert a.kind == Answer.TIMEOUT
+        assert isinstance(a.error, FuelExhausted)
+        assert a.steps == 1
+        assert "after 1 steps" in str(a.error)
+
+    def test_exhaustion_reports_real_limit(self, machine):
+        for limit in (0, 1, 17, 5_000):
+            a = run_source(LOOP, mode="off", fuel=limit, machine=machine)
+            assert isinstance(a.error, FuelExhausted)
+            assert a.error.limit == limit
+            assert f"after {limit} steps" in str(a.error)
+            assert a.steps == limit
+
+    def test_exact_step_boundary(self, machine):
+        # Measure the true cost S, then check fuel=S completes while
+        # fuel=S-1 exhausts: the budget is exact, not off-by-one.
+        a = run_source(QUICK, mode="off", fuel=1_000_000, machine=machine)
+        assert a.kind == Answer.VALUE
+        cost = a.steps
+        assert 0 < cost < 1_000_000
+        exact = run_source(QUICK, mode="off", fuel=cost, machine=machine)
+        assert exact.kind == Answer.VALUE and exact.value == 42
+        assert exact.steps == cost
+        short = run_source(QUICK, mode="off", fuel=cost - 1,
+                           machine=machine)
+        assert short.kind == Answer.TIMEOUT
+        assert isinstance(short.error, FuelExhausted)
+
+    def test_steps_metered_on_runtime_error(self, machine):
+        a = run_source("(define (f n) (if (zero? n) (car 1) (f (- n 1))))\n"
+                       "(f 5)\n", mode="off", fuel=100_000, machine=machine)
+        assert a.kind == Answer.RT_ERROR
+        assert 0 < a.steps < 100_000
+
+    def test_steps_metered_on_violation(self, machine):
+        from repro.sct.monitor import SCMonitor
+
+        program = parse_program(LOOP, source="<fuel-test>")
+        a = run_program(program, mode="full", monitor=SCMonitor(),
+                        fuel=5_000_000, machine=machine)
+        assert a.kind == Answer.SC_ERROR
+        assert 0 < a.steps < 5_000_000
+
+    def test_unlimited_fuel_reports_zero_steps(self, machine):
+        # fuel=None means "unmetered": steps stays 0 rather than lying.
+        a = run_source(QUICK, mode="off", fuel=None, machine=machine)
+        assert a.kind == Answer.VALUE and a.steps == 0
+
+    def test_trace_source_same_fuel_zero_semantics(self, machine):
+        from repro.sct.trace import trace_source
+
+        r = trace_source(QUICK, mode="full", fuel=0, machine=machine)
+        assert r.answer.kind == Answer.TIMEOUT
+        assert isinstance(r.answer.error, FuelExhausted)
+        assert r.answer.steps == 0
+
+
+class TestFuelParity:
+    """The compiled machine charges fuel on the same schedule as the
+    tree machine *per monitored call* (one unit per argument at APPLY —
+    see the comment in machine.py), but spends fewer units on plumbing.
+    The admitted-call ratio is therefore a small stable constant, not
+    unbounded drift; pin it below 5x so a fuel-accounting regression on
+    either machine trips this test."""
+
+    COUNTED = ("(define (count n)\n"
+               "  (if (zero? n) 0 (begin (display n) (count (- n 1)))))\n"
+               "(count 1000000)\n")
+
+    @staticmethod
+    def _admitted(machine, fuel):
+        a = run_source(TestFuelParity.COUNTED, mode="off", fuel=fuel,
+                       machine=machine)
+        assert a.kind == Answer.TIMEOUT
+        return len(a.output.split())
+
+    def test_compiled_admits_bounded_multiple(self):
+        for fuel in (5_000, 20_000):
+            tree = self._admitted("tree", fuel)
+            compiled = self._admitted("compiled", fuel)
+            assert tree > 0 and compiled > 0
+            assert compiled >= tree  # compiled is never *slower* per unit
+            assert compiled <= 5 * tree
+
+    def test_same_fuel_same_outcome_kind(self):
+        # Whatever the per-unit cost, the *contract* is identical:
+        # exhaustion kind, error type, limit reporting.
+        for fuel in (0, 1, 1_000):
+            t = run_source(LOOP, mode="off", fuel=fuel, machine="tree")
+            c = run_source(LOOP, mode="off", fuel=fuel, machine="compiled")
+            assert t.kind == c.kind == Answer.TIMEOUT
+            assert type(t.error) is type(c.error) is FuelExhausted
+            assert t.error.limit == c.error.limit == fuel
+            assert t.steps == c.steps == fuel
+
+
 class TestFuelCli:
     def test_run_fuel_exit_code_and_message(self, tmp_path, capsys):
         from repro.cli import main
@@ -55,6 +167,17 @@ class TestFuelCli:
         code = main(["run", str(f), "--mode", "off", "--fuel", "5000"])
         assert code == 4
         assert "fuel exhausted" in capsys.readouterr().err
+
+    def test_fuel_zero_exits_4_immediately(self, tmp_path, capsys):
+        # --fuel 0 must not be mistaken for "unlimited" by a falsy-zero
+        # check anywhere on the CLI path.
+        from repro.cli import main
+
+        f = tmp_path / "quick.scm"
+        f.write_text(QUICK)
+        code = main(["run", str(f), "--mode", "off", "--fuel", "0"])
+        assert code == 4
+        assert "after 0 steps" in capsys.readouterr().err
 
     def test_max_steps_alias_same_exit_code(self, tmp_path, capsys):
         """--max-steps is an alias for the same budget: exit code 4

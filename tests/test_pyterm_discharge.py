@@ -124,15 +124,17 @@ class TestDischarge:
             terminating(plain_loop, discharge="require", kinds=("nat",))
 
     def test_decoration_is_cached(self):
-        from repro.analysis.discharge import default_cache
+        # Inject a private cache: no dependence on the process-wide
+        # default_cache() (whose counters any other test may touch).
+        from repro.analysis.discharge import VerificationCache
 
-        cache = default_cache()
+        cache = VerificationCache()
         terminating(plain_fact, discharge="auto", kinds=("nat",),
-                    result_kind="nat")
-        hits = cache.hits
+                    result_kind="nat", cache=cache)
+        assert (cache.hits, cache.misses) == (0, 1)
         terminating(plain_fact, discharge="auto", kinds=("nat",),
-                    result_kind="nat")
-        assert cache.hits == hits + 1
+                    result_kind="nat", cache=cache)
+        assert (cache.hits, cache.misses) == (1, 1)
 
     def test_bad_discharge_value(self):
         with pytest.raises(ValueError, match="discharge"):
