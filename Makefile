@@ -3,7 +3,7 @@ export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
 .PHONY: test bench bench-quick bench-interp bench-interp-smoke \
 	bench-residual bench-residual-smoke fuzz fuzz-smoke fuzz-nightly \
-	serve-bench serve-smoke docs
+	serve-bench serve-smoke chaos chaos-smoke chaos-nightly docs
 
 # Tier-1 verification: the full claim-backing test suite.
 test:
@@ -55,6 +55,21 @@ serve-bench:
 # The PR-blocking serve smoke: 200 mixed requests, zero-drop gate.
 serve-smoke:
 	$(PYTHON) benchmarks/bench_serve.py --quick --out BENCH_serve.json
+
+# The seeded chaos campaign against the serve resilience layer
+# (writes BENCH_chaos.json; exit 1 on any invariant violation).
+chaos:
+	$(PYTHON) -m repro chaos --n 200 --seed 0 --out BENCH_chaos.json
+
+# The fast PR-blocking chaos smoke: every fault kind, small traffic.
+chaos-smoke:
+	$(PYTHON) -m repro chaos --n 60 --seed 0 --out BENCH_chaos.json
+
+# Nightly: a bigger campaign under a rotating seed, so the fault plan
+# itself varies while staying replayable from the report.
+chaos-nightly:
+	$(PYTHON) -m repro chaos --n 500 --seed $(shell date +%U)00 \
+		--out BENCH_chaos.json
 
 # The documentation set worth (re)reading, in order.
 docs:

@@ -33,7 +33,7 @@ import time
 REPO = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
 sys.path.insert(0, os.path.join(REPO, "src"))
 
-from repro.serve.client import AsyncServeClient  # noqa: E402
+from repro.serve.client import AsyncServeClient, RetryPolicy  # noqa: E402
 
 LISTEN_RE = re.compile(r"listening on ([\d.]+):(\d+)")
 WARM_RATIO_GATE = 5.0
@@ -128,7 +128,13 @@ async def drive(host, port, quick):
     n_fault_runs = 4 if quick else 40
     n_crashes = 2 if quick else 6
 
-    client = await AsyncServeClient.connect(host, port, tag="bench")
+    # a seeded retry policy: transient overloaded/shard-unavailable
+    # responses under the fault phase are absorbed, and the retry count
+    # is itself a reported metric (crash ops are non-idempotent and are
+    # never retried)
+    client = await AsyncServeClient.connect(
+        host, port, tag="bench",
+        retry=RetryPolicy(retries=4, base=0.05, cap=1.0, seed=0))
     results = {"phases": {}}
     failures = []
 
@@ -196,6 +202,18 @@ async def drive(host, port, quick):
     print(f"  server cache: hits {cache.get('hits')}, misses "
           f"{cache.get('misses')}, hit_rate {cache.get('hit_rate')}",
           flush=True)
+    resilience = (results["server_stats"] or {}).get("resilience") or {}
+    results["client_resilience"] = {
+        "retries": client.retries_used,
+        "connection_losses": client.connection_losses,
+        "unmatched_responses": client.unmatched_responses,
+    }
+    print(f"  resilience: shed {resilience.get('shed_overloaded', 0)}"
+          f"+{resilience.get('shed_shard_queue', 0)}, breaker "
+          f"opened {resilience.get('breaker_opened', 0)} / closed "
+          f"{resilience.get('breaker_closed', 0)} / rejected "
+          f"{resilience.get('breaker_rejected', 0)}, client retries "
+          f"{client.retries_used}", flush=True)
 
     await client.request({"op": "shutdown"}, timeout=60)
     await client.close()

@@ -22,6 +22,8 @@ Subcommands::
                [--matrix full|quick|m:e:p,...] [--fuel N] [--features a,b]
                [--no-shrink] [--archive] [--json] [--out PATH]
                [--replay FILE.scm]
+    sized chaos [--n N] [--seed S] [--faults a,b,...] [--workers N]
+                [--json] [--out PATH]
 
 ``--mc`` switches the evidence from size-change graphs to monotonicity-
 constraint graphs (the paper's §6.2 future-work extension): counting-up-
@@ -66,6 +68,15 @@ content-addressed cache key, warm worker processes each owning a shard
 of the on-disk certificate store, per-tenant fuel budgets, and a
 ``stats`` metrics surface.  ``benchmarks/bench_serve.py`` is the load
 generator (writes ``BENCH_serve.json``).
+
+``chaos`` proves the serve resilience layer under a *seeded* fault plan
+(:mod:`repro.serve.chaos`): worker crashes, slow and wedged workers,
+shard flapping that trips circuit breakers, corrupted on-disk cache
+entries, connection cuts, and malformed frames are injected against an
+in-process server while retrying clients drive traffic.  Exit 0 iff all
+invariants hold (zero lost, zero duplicated, delivered results
+byte-identical to the direct pipeline, budgets conserved, server healthy
+at the end); same seed, same campaign.
 """
 
 from __future__ import annotations
@@ -237,6 +248,27 @@ def main(argv: Optional[List[str]] = None) -> int:
                         help="re-run one archived tests/regressions/*.scm "
                              "repro instead of generating")
 
+    p_chaos = sub.add_parser(
+        "chaos", help="seeded fault-injection campaign against an "
+                      "in-process serve instance")
+    p_chaos.add_argument("--n", type=int, default=200,
+                         help="number of traffic requests (default 200)")
+    p_chaos.add_argument("--seed", type=int, default=0,
+                         help="seed for the fault plan, traffic mix, and "
+                              "client retry jitter")
+    p_chaos.add_argument("--faults", default=None,
+                         help="comma-subset of fault kinds "
+                              "(crash,slow,hang,flap,corrupt-cache,"
+                              "conn-cut,malformed); default all")
+    p_chaos.add_argument("--workers", type=int, default=2,
+                         help="worker shards for the chaos server "
+                              "(default 2)")
+    p_chaos.add_argument("--json", action="store_true",
+                         help="full campaign report JSON on stdout")
+    p_chaos.add_argument("--out", default=None, metavar="PATH",
+                         help="also write the JSON report to PATH "
+                              "(e.g. BENCH_chaos.json)")
+
     args = parser.parse_args(argv)
     if args.command == "run":
         return _cmd_run(args)
@@ -252,6 +284,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_serve(args)
     if args.command == "fuzz":
         return _cmd_fuzz(args)
+    if args.command == "chaos":
+        return _cmd_chaos(args)
     return 2
 
 
@@ -544,6 +578,51 @@ def _cmd_fuzz(args) -> int:
         else:
             print("no divergences: every oracle check passed")
     return 1 if report.divergences else 0
+
+
+def _cmd_chaos(args) -> int:
+    import json
+
+    from repro.serve.chaos import run_campaign
+
+    faults = None
+    if args.faults is not None:
+        faults = tuple(f for f in args.faults.split(",") if f)
+
+    def progress(msg):
+        print(msg, file=sys.stderr)
+
+    try:
+        report, failures = run_campaign(
+            n=args.n, seed=args.seed, faults=faults,
+            workers=args.workers, progress=progress)
+    except ValueError as exc:
+        print(f"chaos: {exc}", file=sys.stderr)
+        return 2
+
+    if args.out:
+        with open(args.out, "w") as f:
+            json.dump(report, f, indent=2)
+            f.write("\n")
+        print(f"wrote {args.out}", file=sys.stderr)
+    if args.json:
+        print(json.dumps(report, indent=2))
+    else:
+        print(f"{report['n']} requests, seed={report['seed']}, "
+              f"{sum(report['injected'].values())} faults injected "
+              f"in {report['elapsed_s']:.1f}s")
+        print("outcomes: " + ", ".join(
+            f"{k}={v}" for k, v in sorted(report["outcomes"].items())))
+        print(f"client retries: {report['client_retries']}")
+        for inv in report["invariants"]:
+            mark = "ok " if inv["ok"] else "FAIL"
+            detail = f" — {inv['detail']}" if inv["detail"] else ""
+            print(f"  [{mark}] {inv['name']}{detail}")
+    if failures:
+        print(f"{len(failures)} invariant violation(s)", file=sys.stderr)
+        return 1
+    print("chaos campaign passed: all invariants hold")
+    return 0
 
 
 if __name__ == "__main__":

@@ -42,6 +42,12 @@ class KeyedBatcher:
     def pending(self) -> int:
         return len(self._pending)
 
+    def has(self, key: str) -> bool:
+        """True when a batch for ``key`` is open or in flight — a new
+        arrival would join it for free, so admission control must not
+        shed it on shard-queue depth (joining adds no shard load)."""
+        return key in self._pending
+
     async def submit(self, key: str, job: dict) -> Tuple[dict, int, bool]:
         batch = self._pending.get(key)
         if batch is not None:

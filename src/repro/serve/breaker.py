@@ -1,0 +1,131 @@
+"""Per-shard circuit breaker for the serve dispatcher.
+
+A shard that keeps crashing or timing out is not helped by more
+traffic: every request pays a kill→rebuild→requeue cycle only to fail
+again, and the requeue traffic slows the healthy shards' event loop.
+The breaker turns that into a fast, *retryable* rejection:
+
+* **closed** — normal operation.  Failures (worker crash, wall-clock
+  timeout) are timestamped into a sliding window; a success clears the
+  window (the shard proved itself).  ``failure_threshold`` failures
+  inside ``window_s`` trip the breaker.
+* **open** — every request is rejected immediately with
+  ``shard-unavailable`` and a ``retry_after`` hint of the time left
+  until the next probe.  No worker contact at all.
+* **half-open** — after ``open_s`` the next ``allow()`` admits exactly
+  one probe request; concurrent requests keep being rejected until the
+  probe resolves.  Probe success closes the breaker, probe failure
+  re-opens it for another ``open_s``.
+
+The clock is injectable so unit tests and the chaos harness can drive
+state transitions deterministically.  All methods run on the event
+loop thread; no locking.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import deque
+from typing import Callable, Deque, Tuple
+
+CLOSED = "closed"
+OPEN = "open"
+HALF_OPEN = "half-open"
+
+
+class CircuitBreaker:
+    __slots__ = ("failure_threshold", "window_s", "open_s", "_clock",
+                 "state", "_failures", "_opened_at", "_probe_in_flight",
+                 "opens", "closes", "probes")
+
+    def __init__(self, failure_threshold: int = 5, window_s: float = 30.0,
+                 open_s: float = 5.0,
+                 clock: Callable[[], float] = time.monotonic):
+        self.failure_threshold = max(int(failure_threshold), 1)
+        self.window_s = window_s
+        self.open_s = open_s
+        self._clock = clock
+        self.state = CLOSED
+        self._failures: Deque[float] = deque()
+        self._opened_at = 0.0
+        self._probe_in_flight = False
+        # lifetime transition counters (the stats surface reads these)
+        self.opens = 0
+        self.closes = 0
+        self.probes = 0
+
+    # -- queries ------------------------------------------------------------
+
+    def allow(self) -> Tuple[bool, float]:
+        """``(allowed, retry_after)``.  In the open state ``retry_after``
+        is the time left until a probe becomes due; an admitted request
+        in the half-open state *is* the probe and must be resolved with
+        :meth:`record_success` or :meth:`record_failure`."""
+        if self.state == CLOSED:
+            return True, 0.0
+        now = self._clock()
+        if self.state == OPEN:
+            remaining = (self._opened_at + self.open_s) - now
+            if remaining > 0:
+                return False, remaining
+            self.state = HALF_OPEN
+            self._probe_in_flight = False
+        # half-open: one probe at a time
+        if self._probe_in_flight:
+            return False, self.open_s
+        self._probe_in_flight = True
+        self.probes += 1
+        return True, 0.0
+
+    def remaining_open(self) -> float:
+        if self.state != OPEN:
+            return 0.0
+        return max((self._opened_at + self.open_s) - self._clock(), 0.0)
+
+    # -- outcomes -----------------------------------------------------------
+
+    def record_success(self) -> bool:
+        """A dispatched request completed (any structured response
+        counts — the *shard* worked).  Returns True when this success
+        closed a half-open breaker."""
+        self._failures.clear()
+        self._probe_in_flight = False
+        if self.state != CLOSED:
+            self.state = CLOSED
+            self.closes += 1
+            return True
+        return False
+
+    def record_failure(self) -> bool:
+        """A dispatch attempt died (crash/timeout).  Returns True when
+        this failure tripped the breaker open."""
+        now = self._clock()
+        if self.state == HALF_OPEN:
+            # the probe failed: straight back to open, fresh window
+            self.state = OPEN
+            self._opened_at = now
+            self._probe_in_flight = False
+            self.opens += 1
+            return True
+        self._failures.append(now)
+        cutoff = now - self.window_s
+        while self._failures and self._failures[0] < cutoff:
+            self._failures.popleft()
+        if self.state == CLOSED and \
+                len(self._failures) >= self.failure_threshold:
+            self.state = OPEN
+            self._opened_at = now
+            self._failures.clear()
+            self.opens += 1
+            return True
+        return False
+
+    def snapshot(self) -> dict:
+        return {
+            "state": self.state,
+            "recent_failures": len(self._failures),
+            "opens": self.opens,
+            "closes": self.closes,
+            "probes": self.probes,
+            "retry_after": round(self.remaining_open(), 3),
+        }

@@ -32,6 +32,12 @@ class TenantBudgets:
         self._remaining: Dict[str, int] = {}
         self._spent: Dict[str, int] = {}
         self._rejected: Dict[str, int] = {}
+        # reservations admitted but not yet settled — every admit must be
+        # matched by exactly one settle on every path (shed, crash,
+        # disconnect, drain); the chaos harness asserts this drains to
+        # zero, and for finite budgets spent + remaining + outstanding
+        # fuel must always equal the budget.
+        self._open: Dict[str, int] = {}
 
     def remaining(self, tenant: str) -> Optional[int]:
         if self.default_budget is None:
@@ -43,6 +49,7 @@ class TenantBudgets:
         """``(admitted, effective_fuel, reason)``.  On admission the
         effective fuel is reserved; the caller must :meth:`settle`."""
         if self.default_budget is None:
+            self._open[tenant] = self._open.get(tenant, 0) + 1
             return True, fuel, None
         left = self.remaining(tenant)
         if left <= 0:
@@ -53,12 +60,15 @@ class TenantBudgets:
                 f"{self._spent.get(tenant, 0)})")
         effective = left if fuel is None else min(fuel, left)
         self._remaining[tenant] = left - effective
+        self._open[tenant] = self._open.get(tenant, 0) + 1
         return True, effective, None
 
     def settle(self, tenant: str, reserved: Optional[int],
                steps: int) -> None:
         """Refund the unspent part of a reservation and record spend."""
         steps = max(steps, 0)
+        if self._open.get(tenant, 0) > 0:
+            self._open[tenant] -= 1
         if self.default_budget is None:
             self._spent[tenant] = self._spent.get(tenant, 0) + steps
             return
@@ -68,16 +78,22 @@ class TenantBudgets:
                 self._remaining.get(tenant, 0) + (reserved - spent))
             self._spent[tenant] = self._spent.get(tenant, 0) + spent
 
+    def open_reservations(self) -> int:
+        """Reservations admitted but not yet settled, across tenants."""
+        return sum(self._open.values())
+
     def snapshot(self) -> dict:
         tenants = sorted(set(self._spent) | set(self._remaining)
-                         | set(self._rejected))
+                         | set(self._rejected) | set(self._open))
         return {
             "default_budget": self.default_budget,
+            "open_reservations": self.open_reservations(),
             "tenants": {
                 t: {
                     "spent": self._spent.get(t, 0),
                     "remaining": self.remaining(t),
                     "rejected": self._rejected.get(t, 0),
+                    "open": self._open.get(t, 0),
                 }
                 for t in tenants
             },

@@ -6,6 +6,21 @@ shape ``bench_serve.py`` uses to hold thousands of concurrent requests
 open.  :class:`ServeClient` is the synchronous convenience wrapper for
 tests and scripts: one request outstanding at a time, so the next line
 is always the matching response.
+
+Both are *resilient by opt-in*: pass a :class:`RetryPolicy` and
+transient service errors (``overloaded``, ``shard-unavailable``,
+``worker-crash``, ``connection-lost`` — see
+:data:`repro.serve.protocol.RETRYABLE_ERRORS`) are retried with capped
+exponential backoff plus jitter, honouring the server's ``retry_after``
+hint.  Retries are idempotent by construction: the content-addressed
+request key means a resent request either joins the original
+execution's batch or re-runs to the same answer.  The jitter RNG is
+seedable so the chaos harness's retry schedule is part of its
+deterministic fault plan.
+
+Failure behaviour without retries: a dead connection *resolves* every
+pending request with a structured ``connection-lost`` error response —
+nothing ever hangs forever on a silent EOF.
 """
 
 from __future__ import annotations
@@ -13,29 +28,78 @@ from __future__ import annotations
 import asyncio
 import itertools
 import json
+import random
 import socket
-from typing import Dict, Optional
+import time
+from typing import Dict, Optional, Set
 
 from repro.serve import protocol
+
+# ops whose responses are pure functions of the request — safe to resend
+_IDEMPOTENT_OPS = frozenset({"run", "verify", "ping", "stats"})
+
+
+class RetryPolicy:
+    """Capped exponential backoff with full jitter.
+
+    ``delay(attempt, hint)`` is ``uniform(0, min(cap, base * 2**attempt))``
+    floored at the server's ``retry_after`` hint — the server knows how
+    long a breaker stays open or a queue needs to clear better than any
+    client-side guess does.
+    """
+
+    __slots__ = ("retries", "base", "cap", "_rng")
+
+    def __init__(self, retries: int = 4, base: float = 0.05,
+                 cap: float = 2.0, seed: Optional[int] = None):
+        self.retries = max(int(retries), 0)
+        self.base = base
+        self.cap = cap
+        self._rng = random.Random(seed)
+
+    def delay(self, attempt: int, hint: float = 0.0) -> float:
+        backoff = min(self.cap, self.base * (2 ** attempt))
+        return max(hint, self._rng.uniform(0.0, backoff))
+
+
+def _lost(rid, detail: str) -> dict:
+    return protocol.error_response(
+        rid, protocol.E_CONNECTION_LOST,
+        f"serve connection lost: {detail}")
 
 
 class AsyncServeClient:
     def __init__(self, reader: asyncio.StreamReader,
-                 writer: asyncio.StreamWriter, tag: str = "c"):
+                 writer: asyncio.StreamWriter, tag: str = "c",
+                 retry: Optional[RetryPolicy] = None):
         self._reader = reader
         self._writer = writer
         self._ids = itertools.count(1)
         self._tag = tag
+        self._retry = retry
+        self._host: Optional[str] = None
+        self._port: Optional[int] = None
         self._waiters: Dict[str, asyncio.Future] = {}
         self._reader_task = asyncio.ensure_future(self._read_loop())
         self._closed = False
+        self._closing = False
+        # observability (the bench and chaos harness report these)
+        self.retries_used = 0
+        self.connection_losses = 0
+        self.unmatched_responses = 0   # a response no waiter claimed
+        self.malformed_lines = 0
 
     @classmethod
-    async def connect(cls, host: str, port: int,
-                      tag: str = "c") -> "AsyncServeClient":
+    async def connect(cls, host: str, port: int, tag: str = "c",
+                      retry: Optional[RetryPolicy] = None
+                      ) -> "AsyncServeClient":
         reader, writer = await asyncio.open_connection(
             host, port, limit=protocol.MAX_LINE)
-        return cls(reader, writer, tag=tag)
+        client = cls(reader, writer, tag=tag, retry=retry)
+        client._host, client._port = host, port
+        return client
+
+    # -- the read loop -------------------------------------------------------
 
     async def _read_loop(self) -> None:
         try:
@@ -46,35 +110,112 @@ class AsyncServeClient:
                 try:
                     response = json.loads(line)
                 except ValueError:
+                    self.malformed_lines += 1
+                    continue
+                if not isinstance(response, dict):
+                    self.malformed_lines += 1
                     continue
                 waiter = self._waiters.pop(response.get("id"), None)
-                if waiter is not None and not waiter.done():
+                if waiter is None:
+                    self.unmatched_responses += 1
+                elif not waiter.done():
                     waiter.set_result(response)
-        except (ConnectionError, asyncio.CancelledError, ValueError):
+        except (ConnectionError, asyncio.CancelledError, ValueError,
+                OSError):
             pass
         finally:
             self._closed = True
-            for waiter in self._waiters.values():
+            if self._waiters and not self._closing:
+                self.connection_losses += 1
+            # resolve (don't except) every pending request with a
+            # structured connection-lost error: nothing hangs forever,
+            # and the retry layer treats it like any retryable error
+            for rid, waiter in list(self._waiters.items()):
                 if not waiter.done():
-                    waiter.set_exception(
-                        ConnectionError("serve connection closed"))
+                    waiter.set_result(_lost(rid, "EOF with the request "
+                                                 "in flight"))
             self._waiters.clear()
+
+    # -- requests ------------------------------------------------------------
 
     async def request(self, obj: dict,
                       timeout: Optional[float] = None) -> dict:
-        if self._closed:
-            raise ConnectionError("serve connection closed")
+        """Send one request and return its response dict.
+
+        With a :class:`RetryPolicy`, retryable error responses (and
+        connection loss, when the client knows its host/port) are
+        retried under the same ``id``; ``timeout`` applies per attempt
+        and is *not* retried — a slow answer is not a transient fault.
+        """
         obj = dict(obj)
         rid = obj.setdefault("id", f"{self._tag}-{next(self._ids)}")
+        retryable_op = obj.get("op") in _IDEMPOTENT_OPS
+        attempts = (self._retry.retries + 1
+                    if self._retry is not None and retryable_op else 1)
+        response = _lost(rid, "never connected")
+        for attempt in range(attempts):
+            if attempt:
+                self.retries_used += 1
+                await asyncio.sleep(self._retry.delay(
+                    attempt - 1, protocol.retry_after_hint(response)))
+            response = await self._attempt(obj, rid, timeout)
+            if not protocol.is_retryable(response):
+                return response
+            etype = (response.get("error") or {}).get("type")
+            if etype == protocol.E_CONNECTION_LOST:
+                if not await self._reconnect():
+                    return response
+        return response
+
+    async def _attempt(self, obj: dict, rid,
+                       timeout: Optional[float]) -> dict:
+        if self._closed:
+            return _lost(rid, "connection closed")
         future = asyncio.get_running_loop().create_future()
         self._waiters[rid] = future
-        self._writer.write(protocol.encode(obj))
-        await self._writer.drain()
+        try:
+            self._writer.write(protocol.encode(obj))
+            await self._writer.drain()
+        except (ConnectionError, OSError) as exc:
+            self._waiters.pop(rid, None)
+            return _lost(rid, f"write failed: {exc}")
+        # the read loop may have died between the closed-check and the
+        # registration; a registered-but-orphaned waiter must not hang
+        if self._closed and not future.done():
+            self._waiters.pop(rid, None)
+            return _lost(rid, "connection closed during send")
         if timeout is None:
             return await future
-        return await asyncio.wait_for(future, timeout)
+        try:
+            return await asyncio.wait_for(future, timeout)
+        except asyncio.TimeoutError:
+            # forget the waiter: a late response must not look like a
+            # duplicate for the *next* request on this id
+            self._waiters.pop(rid, None)
+            raise
+
+    async def _reconnect(self) -> bool:
+        """Re-dial after connection loss (only possible when built via
+        :meth:`connect`).  Pending requests of the old connection were
+        already resolved with ``connection-lost`` by the read loop."""
+        if self._host is None or self._closing:
+            return False
+        self._reader_task.cancel()
+        try:
+            self._writer.close()
+        except Exception:
+            pass
+        try:
+            self._reader, self._writer = await asyncio.open_connection(
+                self._host, self._port, limit=protocol.MAX_LINE)
+        except OSError:
+            return False
+        self._closed = False
+        self._reader_task = asyncio.ensure_future(self._read_loop())
+        return True
 
     async def close(self) -> None:
+        self._closing = True
         self._reader_task.cancel()
         try:
             self._writer.close()
@@ -84,22 +225,108 @@ class AsyncServeClient:
 
 
 class ServeClient:
-    """Blocking, single-in-flight client."""
+    """Blocking, single-in-flight client.
 
-    def __init__(self, host: str, port: int, timeout: float = 120.0):
-        self._sock = socket.create_connection((host, port), timeout=timeout)
-        self._file = self._sock.makefile("rwb")
+    A timed-out request no longer poisons the stream: its ``id`` is
+    remembered and the late response, when it eventually arrives, is
+    discarded by id instead of being mistaken for the next call's
+    answer.  With ``retries > 0`` the client also resends on retryable
+    errors and re-dials on connection loss.
+    """
+
+    def __init__(self, host: str, port: int, timeout: float = 120.0,
+                 retries: int = 0, retry_base: float = 0.05,
+                 retry_cap: float = 2.0, seed: Optional[int] = None):
+        self._host = host
+        self._port = port
+        self._timeout = timeout
+        self._retry = RetryPolicy(retries, retry_base, retry_cap, seed)
         self._ids = itertools.count(1)
+        self._stale_ids: Set[str] = set()
+        self.retries_used = 0
+        self.stale_discarded = 0
+        self._connect()
 
-    def request(self, obj: dict) -> dict:
+    def _connect(self) -> None:
+        self._sock = socket.create_connection(
+            (self._host, self._port), timeout=self._timeout)
+        self._file = self._sock.makefile("rwb")
+
+    def _reconnect(self) -> None:
+        self.close()
+        self._connect()
+        self._stale_ids.clear()
+
+    def _reopen_file(self) -> None:
+        """A timed-out socket file object refuses every further read
+        (``cannot read from timed out object``), so reopen it over the
+        *same* connection: the stream survives, and the late response
+        still arrives to be discarded by id.  Bytes half-read before the
+        timeout surface as one unparseable line, which the response loop
+        already skips."""
+        try:
+            self._file.close()
+        except OSError:
+            pass
+        self._file = self._sock.makefile("rwb")
+
+    def request(self, obj: dict, timeout: Optional[float] = None) -> dict:
         obj = dict(obj)
-        obj.setdefault("id", f"sync-{next(self._ids)}")
-        self._file.write(protocol.encode(obj))
-        self._file.flush()
-        line = self._file.readline()
-        if not line:
-            raise ConnectionError("serve connection closed")
-        return json.loads(line)
+        rid = obj.setdefault("id", f"sync-{next(self._ids)}")
+        retryable_op = obj.get("op") in _IDEMPOTENT_OPS
+        attempts = (self._retry.retries + 1) if retryable_op else 1
+        response: Optional[dict] = None
+        for attempt in range(attempts):
+            if attempt:
+                self.retries_used += 1
+                time.sleep(self._retry.delay(
+                    attempt - 1,
+                    protocol.retry_after_hint(response or {})))
+            try:
+                response = self._roundtrip(obj, rid, timeout)
+            except ConnectionError as exc:
+                response = _lost(rid, str(exc))
+                try:
+                    self._reconnect()
+                except OSError:
+                    return response
+                continue
+            if not protocol.is_retryable(response):
+                return response
+        return response
+
+    def _roundtrip(self, obj: dict, rid,
+                   timeout: Optional[float]) -> dict:
+        if timeout is not None:
+            self._sock.settimeout(timeout)
+        try:
+            self._file.write(protocol.encode(obj))
+            self._file.flush()
+            while True:
+                try:
+                    line = self._file.readline()
+                except TimeoutError:
+                    # remember the id: its late response must be
+                    # discarded, not matched to the next call
+                    self._stale_ids.add(rid)
+                    self._reopen_file()
+                    raise
+                if not line:
+                    raise ConnectionError("serve connection closed")
+                try:
+                    response = json.loads(line)
+                except ValueError:
+                    continue
+                got = response.get("id") if isinstance(response, dict) \
+                    else None
+                if got == rid:
+                    return response
+                if got in self._stale_ids:
+                    self._stale_ids.discard(got)
+                self.stale_discarded += 1
+        finally:
+            if timeout is not None:
+                self._sock.settimeout(self._timeout)
 
     def close(self) -> None:
         try:

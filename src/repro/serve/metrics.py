@@ -16,7 +16,10 @@ from typing import Deque, Dict
 
 
 def percentile(samples, q: float) -> float:
-    """Nearest-rank percentile of a non-empty sorted list."""
+    """Nearest-rank percentile of a sorted list; 0.0 on an empty window
+    (a cold server has stats, not a stack trace)."""
+    if not samples:
+        return 0.0
     idx = min(int(q * (len(samples) - 1) + 0.5), len(samples) - 1)
     return samples[idx]
 
@@ -37,6 +40,14 @@ class Metrics:
         self.request_timeouts = 0
         self.requeues = 0
         self.rebuilds = 0
+        # resilience layer: load shedding, circuit breakers, drain
+        self.shed_overloaded = 0        # global max-in-flight exceeded
+        self.shed_shard_queue = 0       # per-shard admission queue full
+        self.breaker_rejected = 0       # fast-rejected: circuit open
+        self.breaker_opened = 0
+        self.breaker_closed = 0
+        self.drains = 0                 # graceful drains started
+        self.drain_cancelled = 0        # in-flight jobs failed at deadline
         self._latencies: Deque[float] = deque(maxlen=latency_cap)
 
     # -- recording ----------------------------------------------------------
@@ -89,26 +100,35 @@ class Metrics:
                 "misses": self.cache_misses,
                 "rejected": self.cache_rejected,
                 "hit_rate": round(self.cache_hits / lookups, 4)
-                if lookups else None,
+                if lookups else 0.0,
             },
             "batches": {
                 "dispatched": self.batches,
                 "requests": self.batched_requests,
                 "max_size": self.max_batch,
                 "mean_size": round(self.batched_requests / self.batches, 3)
-                if self.batches else None,
+                if self.batches else 0.0,
             },
             "latency_ms": {
                 "count": len(lat),
-                "p50": round(percentile(lat, 0.50), 3) if lat else None,
-                "p99": round(percentile(lat, 0.99), 3) if lat else None,
-                "max": round(lat[-1], 3) if lat else None,
-                "mean": round(sum(lat) / len(lat), 3) if lat else None,
+                "p50": round(percentile(lat, 0.50), 3),
+                "p99": round(percentile(lat, 0.99), 3),
+                "max": round(lat[-1], 3) if lat else 0.0,
+                "mean": round(sum(lat) / len(lat), 3) if lat else 0.0,
             },
             "workers": {
                 "crashes": self.worker_crashes,
                 "request_timeouts": self.request_timeouts,
                 "requeues": self.requeues,
                 "rebuilds": self.rebuilds,
+            },
+            "resilience": {
+                "shed_overloaded": self.shed_overloaded,
+                "shed_shard_queue": self.shed_shard_queue,
+                "breaker_rejected": self.breaker_rejected,
+                "breaker_opened": self.breaker_opened,
+                "breaker_closed": self.breaker_closed,
+                "drains": self.drains,
+                "drain_cancelled": self.drain_cancelled,
             },
         }

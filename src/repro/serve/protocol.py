@@ -42,7 +42,26 @@ ended in a violation, run-time error, or fuel exhaustion is still
 exit code.  ``{"id": ..., "ok": false, "error": {"type": ..., "message":
 ...}}`` for failures of the service itself; ``error.type`` is one of
 ``bad-request``, ``budget-exhausted``, ``worker-crash``, ``timeout``,
+``overloaded``, ``shard-unavailable``, ``connection-lost``,
 ``fault-injection-disabled``, ``shutting-down``.
+
+Retryable errors
+----------------
+
+A subset of service errors are *transient*: the same request, resent
+unchanged, may well succeed (``RETRYABLE_ERRORS``).  ``overloaded``
+means an admission queue shed the request (load, not brokenness);
+``shard-unavailable`` means the routed shard's circuit breaker is open
+after repeated faults; ``worker-crash`` means the requeue budget was
+consumed by a genuinely dying worker; ``connection-lost`` is synthesised
+client-side when the TCP stream dies under an in-flight request.  All
+carry a best-effort ``retry_after`` hint in seconds where the server
+can estimate one.  Requests are idempotent by construction — the
+content-addressed :func:`request_key` covers everything the answer
+depends on, so a retry either joins the original execution's batch or
+re-runs to the same answer; ``timeout``, ``budget-exhausted`` and
+``bad-request`` are deliberately *not* retryable (retrying cannot
+change the outcome).
 
 Responses may be written out of request order (requests on one
 connection are served concurrently); match on ``id``.
@@ -61,6 +80,33 @@ E_CRASH = "worker-crash"
 E_TIMEOUT = "timeout"
 E_FAULTS_OFF = "fault-injection-disabled"
 E_SHUTDOWN = "shutting-down"
+E_OVERLOADED = "overloaded"
+E_SHARD_UNAVAILABLE = "shard-unavailable"
+E_CONNECTION_LOST = "connection-lost"  # synthesised client-side
+
+# Transient failures a client may resend unchanged (requests are
+# idempotent by construction: request_key covers everything the answer
+# depends on).  timeout/budget-exhausted/bad-request are excluded on
+# purpose — retrying cannot change those outcomes.
+RETRYABLE_ERRORS = frozenset({
+    E_OVERLOADED, E_SHARD_UNAVAILABLE, E_CRASH, E_CONNECTION_LOST,
+})
+
+
+def is_retryable(response: dict) -> bool:
+    """True when a response is a service error a retry may fix."""
+    if response.get("ok"):
+        return False
+    return (response.get("error") or {}).get("type") in RETRYABLE_ERRORS
+
+
+def retry_after_hint(response: dict) -> float:
+    """The server's ``retry_after`` suggestion in seconds (0.0 when
+    absent or malformed)."""
+    hint = (response.get("error") or {}).get("retry_after")
+    if isinstance(hint, (int, float)) and not isinstance(hint, bool):
+        return max(float(hint), 0.0)
+    return 0.0
 
 # Answer.kind → the `sized run` exit code (the README matrix).
 EXIT_CODES = {"value": 0, "rt-error": 1, "sc-error": 3, "timeout": 4}

@@ -14,6 +14,23 @@ the batch exactly once, and a second failure returns ``error.type``
 ``worker-crash``/``timeout`` to every batch member.  Nothing is dropped
 and nothing wedges — the contract ``bench_serve.py`` and the CI smoke
 gate on.
+
+The resilience layer hardens the degraded paths (chaos-proven by
+``sized chaos`` / :mod:`repro.serve.chaos`):
+
+* **Backpressure** — bounded global in-flight jobs (``max_inflight``)
+  and bounded per-shard admission queues (``shard_queue_limit``); both
+  shed with a retryable ``overloaded`` error plus a ``retry_after``
+  hint rather than queueing without bound.  Joining an in-flight batch
+  is always admitted (it adds no load), and every shed settles its
+  budget reservation.
+* **Circuit breakers** — one :class:`~repro.serve.breaker.
+  CircuitBreaker` per shard over the kill→rebuild path: repeated
+  crash/timeout inside a window opens it, open shards fast-reject with
+  ``shard-unavailable``, a half-open probe closes it on success.
+* **Drain-on-shutdown** — :meth:`SizedServer.drain` stops accepting,
+  waits out in-flight jobs up to ``drain_timeout``, then fails the
+  stragglers with ``shutting-down`` (budgets settled, response written).
 """
 
 from __future__ import annotations
@@ -25,6 +42,7 @@ from typing import Optional
 
 from repro.serve import protocol
 from repro.serve.batching import KeyedBatcher
+from repro.serve.breaker import CircuitBreaker
 from repro.serve.budgets import TenantBudgets
 from repro.serve.metrics import Metrics
 from repro.serve.workers import ShardPool
@@ -36,7 +54,9 @@ class ServeConfig:
 
     __slots__ = ("host", "port", "workers", "batch_window_ms",
                  "default_fuel", "tenant_budget", "request_timeout",
-                 "cache_dir", "shard_depth", "allow_fault_injection")
+                 "cache_dir", "shard_depth", "allow_fault_injection",
+                 "max_inflight", "shard_queue_limit", "breaker_threshold",
+                 "breaker_window_s", "breaker_open_s", "drain_timeout")
 
     def __init__(self, host: str = "127.0.0.1", port: int = 8737,
                  workers: Optional[int] = None,
@@ -46,7 +66,13 @@ class ServeConfig:
                  request_timeout: float = 60.0,
                  cache_dir: Optional[str] = None,
                  shard_depth: int = 2,
-                 allow_fault_injection: bool = False):
+                 allow_fault_injection: bool = False,
+                 max_inflight: int = 4096,
+                 shard_queue_limit: int = 64,
+                 breaker_threshold: int = 5,
+                 breaker_window_s: float = 30.0,
+                 breaker_open_s: float = 5.0,
+                 drain_timeout: float = 10.0):
         self.host = host
         self.port = port
         self.workers = workers or min(4, max(os.cpu_count() or 1, 1))
@@ -57,6 +83,12 @@ class ServeConfig:
         self.cache_dir = cache_dir
         self.shard_depth = shard_depth
         self.allow_fault_injection = allow_fault_injection
+        self.max_inflight = max_inflight
+        self.shard_queue_limit = shard_queue_limit
+        self.breaker_threshold = breaker_threshold
+        self.breaker_window_s = breaker_window_s
+        self.breaker_open_s = breaker_open_s
+        self.drain_timeout = drain_timeout
 
     def snapshot(self) -> dict:
         return {name: getattr(self, name) for name in self.__slots__}
@@ -70,9 +102,14 @@ class SizedServer:
         self.batcher = KeyedBatcher(config.batch_window_ms / 1000.0,
                                     self._dispatch)
         self.pools = []
+        self.breakers = []
+        self._shard_load = []           # dispatched batches per shard
+        self._inflight_jobs = 0         # admitted run/verify jobs
+        self._inflight_tasks = set()    # asyncio tasks serving job ops
         self._server: Optional[asyncio.base_events.Server] = None
         self._stopping = asyncio.Event()
-        self._crash_rr = 0  # round-robin shard for un-keyed crash ops
+        self._draining = False
+        self._crash_rr = 0  # round-robin shard for un-keyed fault ops
         self._auto_id = 0
 
     # -- lifecycle ----------------------------------------------------------
@@ -86,12 +123,47 @@ class SizedServer:
             ShardPool(i, self.config.cache_dir, self.config.shard_depth)
             for i in range(self.config.workers)
         ]
+        self.breakers = [
+            CircuitBreaker(self.config.breaker_threshold,
+                           self.config.breaker_window_s,
+                           self.config.breaker_open_s)
+            for _ in self.pools
+        ]
+        self._shard_load = [0] * len(self.pools)
         self._server = await asyncio.start_server(
             self._handle_conn, self.config.host, self.config.port,
             limit=protocol.MAX_LINE)
 
     async def wait_stopped(self) -> None:
         await self._stopping.wait()
+
+    async def drain(self, timeout: Optional[float] = None) -> None:
+        """Graceful shutdown: stop accepting connections, let in-flight
+        jobs finish within ``timeout`` seconds, then cancel the
+        stragglers — each still gets a structured ``shutting-down``
+        response (and its budget reservation settled) rather than a
+        silently dropped connection."""
+        timeout = self.config.drain_timeout if timeout is None else timeout
+        self._stopping.set()
+        self._draining = True
+        self.metrics.drains += 1
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        loop = asyncio.get_running_loop()
+        deadline = loop.time() + timeout
+        while True:
+            pending = {t for t in self._inflight_tasks if not t.done()}
+            if not pending:
+                break
+            remaining = deadline - loop.time()
+            if remaining <= 0:
+                self.metrics.drain_cancelled += len(pending)
+                for task in pending:
+                    task.cancel()
+                await asyncio.gather(*pending, return_exceptions=True)
+                break
+            await asyncio.wait(pending, timeout=remaining)
 
     async def stop(self) -> None:
         self._stopping.set()
@@ -147,7 +219,14 @@ class SizedServer:
                 request["id"] = rid
             response = await self.handle_request(request)
         except asyncio.CancelledError:
-            raise
+            if not self._draining:
+                raise
+            # drain deadline: the job is being abandoned, but the client
+            # still gets a structured answer, not a silent drop
+            response = protocol.error_response(
+                rid, protocol.E_SHUTDOWN,
+                "server shut down before the request completed "
+                "(drain deadline exceeded)")
         except Exception as exc:
             response = protocol.error_response(
                 rid, protocol.E_BAD_REQUEST,
@@ -180,10 +259,19 @@ class SizedServer:
             if op == "shutdown":
                 self._stopping.set()
                 return {"id": rid, "ok": True, "stopping": True}
-            if op == "crash":
-                return await self._handle_crash(request)
-            if op in ("run", "verify"):
-                return await self._handle_job(request)
+            if op in ("run", "verify", "crash", "hang"):
+                # drain() tracks (and at the deadline cancels) the tasks
+                # doing real work; ping/stats/shutdown stay untracked
+                task = asyncio.current_task()
+                self._inflight_tasks.add(task)
+                try:
+                    if op == "crash":
+                        return await self._handle_fault(request, "crash")
+                    if op == "hang":
+                        return await self._handle_fault(request, "hang")
+                    return await self._handle_job(request)
+                finally:
+                    self._inflight_tasks.discard(task)
             return protocol.error_response(
                 rid, protocol.E_BAD_REQUEST, f"unknown op {op!r}")
         finally:
@@ -231,12 +319,43 @@ class SizedServer:
                 rid, protocol.E_BAD_REQUEST,
                 "mode must be off|contract|full, discharge off|try")
         key = protocol.request_key(job)
+
+        # -- admission control: shed rather than queue without bound.
+        # Both checks run *after* the budget reservation so every shed
+        # path settles — reservations must never leak.  Joining an
+        # in-flight batch is always admitted: it adds no shard load.
+        shard = self._route(key)
+        counted = not self.batcher.has(key)
+        if counted:
+            if self._inflight_jobs >= self.config.max_inflight:
+                self.budgets.settle(tenant, effective_fuel, 0)
+                self.metrics.shed_overloaded += 1
+                return protocol.error_response(
+                    rid, protocol.E_OVERLOADED,
+                    f"server at max in-flight capacity "
+                    f"({self.config.max_inflight}); retry with backoff",
+                    retry_after=self._shed_retry_after())
+            if self._shard_load[shard] >= self.config.shard_queue_limit:
+                self.budgets.settle(tenant, effective_fuel, 0)
+                self.metrics.shed_shard_queue += 1
+                return protocol.error_response(
+                    rid, protocol.E_OVERLOADED,
+                    f"shard {shard} admission queue full "
+                    f"({self.config.shard_queue_limit}); retry with "
+                    f"backoff",
+                    shard=shard, retry_after=self._shed_retry_after())
+            self._shard_load[shard] += 1
+        self._inflight_jobs += 1
         try:
             result, batch_size, joined = await self.batcher.submit(key, job)
         except BaseException:
             # settle even on cancellation: reservations must not leak
             self.budgets.settle(tenant, effective_fuel, 0)
             raise
+        finally:
+            self._inflight_jobs -= 1
+            if counted:
+                self._shard_load[shard] -= 1
         steps = result.get("steps", 0) if result.get("ok") else 0
         self.budgets.settle(tenant, effective_fuel, steps)
         if not joined:
@@ -254,19 +373,28 @@ class SizedServer:
         response["key"] = key[:16]
         return response
 
-    async def _handle_crash(self, request: dict) -> dict:
+    def _shed_retry_after(self) -> float:
+        """Backoff hint for shed requests: a couple of batch windows —
+        long enough for in-flight work to make room, short enough that a
+        retrying client keeps the queue warm."""
+        return round(max(self.config.batch_window_ms / 1000.0 * 2, 0.05), 3)
+
+    async def _handle_fault(self, request: dict, kind: str) -> dict:
         rid = request.get("id")
         if not self.config.allow_fault_injection:
             return protocol.error_response(
                 rid, protocol.E_FAULTS_OFF,
                 "start the server with --allow-fault-injection to use "
-                "op=crash")
+                f"op={kind}")
         shard = request.get("shard")
         if not isinstance(shard, int) or not (0 <= shard < len(self.pools)):
             self._crash_rr = (self._crash_rr + 1) % len(self.pools)
             shard = self._crash_rr
-        job = {"op": "crash", "once": bool(request.get("once")),
-               "marker": request.get("marker")}
+        if kind == "hang":
+            job = {"op": "hang", "seconds": request.get("seconds", 0.0)}
+        else:
+            job = {"op": "crash", "once": bool(request.get("once")),
+                   "marker": request.get("marker")}
         result = await self._dispatch_to_shard(shard, job)
         response = dict(result)
         response["id"] = rid
@@ -283,20 +411,34 @@ class SizedServer:
 
     async def _dispatch_to_shard(self, shard: int, job: dict) -> dict:
         """Run one job on its shard's warm worker: wall-clock bounded,
-        crash/timeout rebuilds the worker and requeues exactly once."""
+        crash/timeout rebuilds the worker and requeues exactly once.
+        The shard's circuit breaker is layered over that: while open,
+        requests are rejected immediately (``shard-unavailable`` with a
+        ``retry_after`` hint) without touching the worker; a half-open
+        breaker admits this job as its probe."""
         pool = self.pools[shard]
+        breaker = self.breakers[shard]
         last_error = (protocol.E_CRASH, "worker unavailable")
         for attempt in (1, 2):
+            allowed, retry_after = breaker.allow()
+            if not allowed:
+                self.metrics.breaker_rejected += 1
+                return protocol.error_response(
+                    None, protocol.E_SHARD_UNAVAILABLE,
+                    f"shard {shard} circuit breaker is open after "
+                    f"repeated worker faults",
+                    shard=shard, retry_after=round(retry_after, 3))
             generation = pool.generation
             try:
                 future = asyncio.wrap_future(pool.submit(job))
             except Exception as exc:  # racing a crash: executor broken
                 self._rebuild(pool, generation)
+                self._breaker_failure(breaker)
                 last_error = (protocol.E_CRASH,
                               f"worker pool broken: {exc}")
             else:
                 try:
-                    return await asyncio.wait_for(
+                    result = await asyncio.wait_for(
                         future, self.config.request_timeout)
                 # NB: TimeoutError must be tried before OSError — since
                 # 3.10 asyncio.TimeoutError IS the builtin TimeoutError,
@@ -305,6 +447,7 @@ class SizedServer:
                     self.metrics.request_timeouts += 1
                     pool.kill()  # the worker is wedged; stop it for real
                     self._rebuild(pool, generation)
+                    self._breaker_failure(breaker)
                     last_error = (
                         protocol.E_TIMEOUT,
                         f"request exceeded the "
@@ -313,14 +456,23 @@ class SizedServer:
                 except (BrokenExecutor, OSError) as exc:
                     self.metrics.worker_crashes += 1
                     self._rebuild(pool, generation)
+                    self._breaker_failure(breaker)
                     last_error = (protocol.E_CRASH,
                                   f"worker died mid-request: "
                                   f"{type(exc).__name__}: {exc}")
+                else:
+                    if breaker.record_success():
+                        self.metrics.breaker_closed += 1
+                    return result
             if attempt == 1:
                 self.metrics.requeues += 1
         return protocol.error_response(
             None, last_error[0], last_error[1],
             shard=shard, requeued=True)
+
+    def _breaker_failure(self, breaker: CircuitBreaker) -> None:
+        if breaker.record_failure():
+            self.metrics.breaker_opened += 1
 
     def _rebuild(self, pool: ShardPool, generation: int) -> None:
         if pool.rebuild_if(generation):
@@ -335,8 +487,11 @@ class SizedServer:
         snap["shards"] = {
             "count": len(self.pools),
             "generations": [p.generation for p in self.pools],
+            "queued": list(self._shard_load),
+            "breakers": [b.snapshot() for b in self.breakers],
         }
         snap["pending_batches"] = self.batcher.pending()
+        snap["inflight"] = self._inflight_jobs
         return snap
 
 
@@ -352,8 +507,11 @@ async def serve_main(config: ServeConfig, *, announce=print) -> int:
     try:
         await server.wait_stopped()
         # grace period: let the shutdown response (and any racing
-        # responses) flush before the pools go down
-        await asyncio.sleep(0.2)
+        # untracked ping/stats responses) flush, then drain: stop
+        # accepting, finish in-flight jobs within the deadline, fail
+        # the rest with a structured shutting-down error
+        await asyncio.sleep(0.1)
+        await server.drain()
     except asyncio.CancelledError:
         pass
     finally:

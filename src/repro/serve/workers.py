@@ -49,6 +49,8 @@ def worker_job(job: dict) -> dict:
     op = job.get("op")
     if op == "crash":
         return _crash_job(job)
+    if op == "hang":
+        return _hang_job(job)
     try:
         if op == "run":
             return _run_job(job)
@@ -60,6 +62,24 @@ def worker_job(job: dict) -> dict:
         return {"ok": False, "error": {
             "type": "worker-error",
             "message": f"{type(exc).__name__}: {exc}"}}
+
+
+def _hang_job(job: dict) -> dict:
+    """Fault injection: occupy the single worker for ``seconds``.  Under
+    the wall-clock limit this models a *slow* worker (the response still
+    arrives); over it the front-end kills and rebuilds the shard — the
+    wedged-worker story the chaos harness drives deterministically."""
+    import time
+
+    seconds = job.get("seconds")
+    if not isinstance(seconds, (int, float)) or isinstance(seconds, bool) \
+            or not (0 <= seconds <= 600):
+        return {"ok": False, "error": {
+            "type": "bad-request",
+            "message": "'seconds' must be a number in [0, 600]"}}
+    time.sleep(seconds)
+    return {"ok": True, "kind": "hang-done", "seconds": seconds,
+            "worker": _STATE.get("worker_id")}
 
 
 def _crash_job(job: dict) -> dict:
