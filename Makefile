@@ -2,7 +2,8 @@ PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
 .PHONY: test bench bench-quick bench-interp bench-interp-smoke \
-	bench-residual bench-residual-smoke fuzz fuzz-smoke fuzz-nightly \
+	bench-residual bench-residual-smoke bench-native native-smoke \
+	fuzz fuzz-smoke fuzz-nightly \
 	serve-bench serve-smoke chaos chaos-smoke chaos-nightly docs
 
 # Tier-1 verification: the full claim-backing test suite.
@@ -33,8 +34,22 @@ bench-residual:
 bench-residual-smoke:
 	$(PYTHON) -m repro bench residual --smoke
 
-# Differential fuzzing over {tree,compiled} x {bitmask,reference} x
-# {off,monitored,discharged}.  Nonzero exit on any divergence.
+# The native-tier report: three machines over the fully-discharged
+# corpus (writes BENCH_native.json; exit 1 when the >=10x geomean or
+# the >=compiled-everywhere acceptance misses).
+bench-native:
+	$(PYTHON) -m repro bench native --scale quick
+
+# The PR-blocking native smoke: the CI subset of the same report, gated
+# on its acceptance block, plus a short differential campaign over the
+# quick matrix (native cells included).
+native-smoke:
+	$(PYTHON) -m repro bench native --smoke --out BENCH_native.json
+	$(PYTHON) -m repro fuzz --n 50 --seed 1 --matrix quick \
+		--out BENCH_fuzz_native.json
+
+# Differential fuzzing over {tree,compiled,native} x {bitmask,reference}
+# x {off,monitored,discharged}.  Nonzero exit on any divergence.
 fuzz:
 	$(PYTHON) -m repro fuzz --n 500 --seed 0 --out BENCH_fuzz.json
 

@@ -1,0 +1,64 @@
+"""pytest-benchmark cells: the native tier vs compiled vs tree.
+
+Machine-readable twins of ``python -m repro bench native`` — one
+benchmark per (program, machine) over the smoke subset of the
+fully-discharged corpus, amplified by the discharged ``bench-iter``
+driver loop, so CI tracks the absolute times (the full report tracks
+the ratios and the acceptance geomeans).
+
+Run with::
+
+    pytest benchmarks/bench_native.py --benchmark-only
+"""
+
+import pytest
+
+from repro.analysis.discharge import discharge_for_run
+from repro.bench.native import MACHINES, SMOKE_PROGRAMS, harness_amplified
+from repro.corpus import get_program
+from repro.eval.machine import Answer, make_env, run_program
+from repro.sct.monitor import SCMonitor
+
+ITERATIONS = 200
+
+_ENVS = {}
+_HARNESSED = {}
+
+
+def _env(machine):
+    family = "tree" if machine == "tree" else "compiled"
+    if family not in _ENVS:
+        _ENVS[family] = make_env(machine=family)
+    return _ENVS[family]
+
+
+def _harnessed(name, parsed):
+    if name not in _HARNESSED:
+        prog = get_program(name)
+        source = harness_amplified(prog.source, ITERATIONS)
+        tree = parsed(source)
+        result = discharge_for_run(tree, text=source,
+                                   result_kinds=prog.result_kinds)
+        assert result.complete and result.policy, \
+            f"{name} bench-iter harness no longer discharges"
+        _HARNESSED[name] = (prog, tree, result.policy)
+    return _HARNESSED[name]
+
+
+def _run(program, prog, machine, policy):
+    answer = run_program(
+        program, mode="full", strategy="cm",
+        monitor=SCMonitor(measures=prog.measures),
+        env=_env(machine), machine=machine, discharge=policy,
+    )
+    assert answer.kind == Answer.VALUE, repr(answer)
+    assert answer.tier == machine, answer.tier
+    return answer
+
+
+@pytest.mark.parametrize("machine", MACHINES)
+@pytest.mark.parametrize("name", SMOKE_PROGRAMS)
+def test_native(benchmark, parsed, name, machine):
+    prog, program, policy = _harnessed(name, parsed)
+    benchmark.group = f"native:{name}"
+    benchmark(_run, program, prog, machine, policy)

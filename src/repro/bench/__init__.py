@@ -20,7 +20,10 @@
 * :mod:`repro.bench.residual` — the discharge pipeline: statically
   verified corpus programs running monitor-free under a residual policy
   vs full monitoring vs the unmonitored floor (emits
-  ``BENCH_residual.json``).
+  ``BENCH_residual.json``),
+* :mod:`repro.bench.native` — the native tier: the fully-discharged
+  corpus on all three machines under one residual policy, amplified by
+  a discharged in-language driver loop (emits ``BENCH_native.json``).
 """
 
 from repro.bench.compose_bench import run_compose, render_compose
@@ -28,6 +31,11 @@ from repro.bench.interp import (
     render_interp,
     run_interp,
     write_interp_json,
+)
+from repro.bench.native import (
+    render_native,
+    run_native,
+    write_native_json,
 )
 from repro.bench.residual import (
     render_residual,
@@ -53,4 +61,5 @@ __all__ = [
     "run_compose", "render_compose",
     "run_interp", "render_interp", "write_interp_json",
     "run_residual", "render_residual", "write_residual_json",
+    "run_native", "render_native", "write_native_json",
 ]

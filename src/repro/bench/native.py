@@ -1,0 +1,312 @@
+"""Benchmark: the native execution tier (``bench native``).
+
+The payoff of compiling discharged code all the way to Python, measured:
+on the corpus subset the §4 verifier fully discharges, the same program
+under the same residual policy is timed on all three machines — ``tree``
+(the AST walker), ``compiled`` (closure compilation over slot frames)
+and ``native`` (exec-generated Python bodies driven by the trampoline).
+Only the machine varies; mode (``full``), strategy (``cm``) and the
+program's :class:`~repro.analysis.discharge.ResidualPolicy` are held
+fixed, so every cell runs the monitor-free path end to end.
+
+Methodology — loop-harness amplification
+----------------------------------------
+
+``bench interp``/``bench residual`` amplify by repeating the final form
+textually, which re-pays the per-form fixed costs (top-level dispatch,
+native-readiness walk) on every iteration and on every machine alike —
+an additive constant that *flattens* machine ratios without touching a
+single executed user instruction.  An execution-tier benchmark wants the
+opposite: amplification that itself runs at each machine's own speed.
+So the final form is wrapped in a *discharged tail-recursive driver
+loop*::
+
+    (define (bench-iter i)
+      (if (zero? i) 0 (begin <final form> (bench-iter (- i 1)))))
+    (bench-iter <k>)
+
+``bench-iter`` descends on a natural and fully discharges together with
+the rest of the program, so on the native machine the amplification loop
+is itself native code.  ``k`` is calibrated per program against a
+per-cell time target on the *tree* machine (the slowest), probed with a
+short harness run so the measured per-iteration cost already includes
+the loop.  Best-of-``repeats`` with the three machines interleaved rep
+by rep, host GC disabled, certificates computed before the clock starts
+(``verify_s`` reports the one cold verification).
+
+Acceptance (tracked in ``BENCH_native.json``): **native geomean ≥ 10×
+the tree machine**, and native at least as fast as the compiled machine
+on every program.
+"""
+
+from __future__ import annotations
+
+import gc
+import json
+import platform
+import time
+from typing import Dict, List, Optional, Sequence
+
+from repro.analysis.discharge import VerificationCache, discharge_for_run
+from repro.bench.interp import geomean
+from repro.bench.report import fmt_factor, fmt_ms, render_table
+from repro.bench.residual import discharged_subset
+from repro.corpus import all_programs
+from repro.eval.machine import Answer, make_env, run_program
+from repro.lang.parser import parse_program
+from repro.sct.monitor import SCMonitor
+
+MACHINES = ("tree", "compiled", "native")
+
+#: The CI smoke subset: plain list descent, a permuting three-arg loop,
+#: an accumulator factorial, and the dispatch-heavy NFA.
+SMOKE_PROGRAMS = ("sct-1", "sct-4", "lh-tfact", "nfa")
+
+#: scale -> (per-cell tree-machine time target s, repeats, max iterations)
+_SCALES = {
+    "smoke": (0.060, 3, 100_000),
+    "quick": (0.150, 5, 100_000),
+    "full": (0.400, 7, 400_000),
+}
+
+#: Calibration probe: iterations for the short tree-machine run whose
+#: per-iteration cost sets k.  Large enough that the loop dominates the
+#: per-run fixed costs, small enough to stay cheap on slow programs.
+_PROBE_ITERATIONS = 32
+
+ACCEPTANCE_GEOMEAN = 10.0    # native geomean vs the tree machine
+ACCEPTANCE_VS_COMPILED = 1.0  # native >= compiled, per program
+
+
+def harness_amplified(source: str, iterations: int) -> str:
+    """``source`` with its final top-level form wrapped in the discharged
+    ``bench-iter`` driver loop (see the module docstring)."""
+    text = source.rstrip()
+    depth = 0
+    i = len(text) - 1
+    while i >= 0:
+        c = text[i]
+        if c in ")]":
+            depth += 1
+        elif c in "([":
+            depth -= 1
+            if depth == 0:
+                break
+        i -= 1
+    if i < 0:
+        raise ValueError("no final call form to wrap")
+    head, final = text[:i], text[i:]
+    return (f"{head}\n"
+            f"(define (bench-iter i)\n"
+            f"  (if (zero? i) 0 (begin {final} (bench-iter (- i 1)))))\n"
+            f"(bench-iter {iterations})\n")
+
+
+class NativeCell:
+    """One program's three-machine timing plus its discharge facts."""
+
+    __slots__ = ("program", "iterations", "tree_s", "compiled_s",
+                 "native_s", "verify_s", "skipped_labels")
+
+    def __init__(self, program: str, iterations: int, tree_s: float,
+                 compiled_s: float, native_s: float, verify_s: float,
+                 skipped_labels: int):
+        self.program = program
+        self.iterations = iterations
+        self.tree_s = tree_s
+        self.compiled_s = compiled_s
+        self.native_s = native_s
+        self.verify_s = verify_s
+        self.skipped_labels = skipped_labels
+
+    @property
+    def tree_ratio(self) -> float:
+        """tree / native — the headline speedup."""
+        return self.tree_s / self.native_s if self.native_s else 0.0
+
+    @property
+    def compiled_ratio(self) -> float:
+        """compiled / native — must stay >= 1.0 everywhere."""
+        return self.compiled_s / self.native_s if self.native_s else 0.0
+
+    def __repr__(self) -> str:
+        return (f"NativeCell({self.program}: tree {self.tree_ratio:.1f}x, "
+                f"compiled {self.compiled_ratio:.2f}x)")
+
+
+def _discharged_harness(prog, iterations: int, cache=None):
+    """Parse + discharge the harnessed program; raises when the harness
+    does not fully discharge (the corpus subset guarantees it should)."""
+    src = harness_amplified(prog.source, iterations)
+    parsed = parse_program(src)
+    result = discharge_for_run(parsed, text=src,
+                               result_kinds=prog.result_kinds,
+                               cache=cache)
+    if not (result.complete and result.policy):
+        raise RuntimeError(
+            f"{prog.name}: bench-iter harness failed to discharge")
+    return parsed, result
+
+
+def run_native(scale: str = "quick", repeats: Optional[int] = None,
+               programs: Optional[Sequence[str]] = None
+               ) -> List[NativeCell]:
+    """Time every discharged-subset program on the three machines."""
+    if scale not in _SCALES:
+        raise ValueError(f"unknown scale: {scale!r}")
+    target, default_repeats, max_iterations = _SCALES[scale]
+    if repeats is None:
+        repeats = default_repeats
+    corpus = all_programs()
+    if scale == "smoke" and programs is None:
+        programs = SMOKE_PROGRAMS
+    if programs is not None:
+        wanted = set(programs)
+        corpus = [p for p in corpus if p.name in wanted]
+
+    env_tree = make_env(machine="tree")
+    env_compiled = make_env(machine="compiled")  # shared with native
+    cells: List[NativeCell] = []
+    for prog, _, _ in discharged_subset(corpus):
+        # One cold verification of the harness, timed for the report.
+        t0 = time.perf_counter()
+        _discharged_harness(prog, _PROBE_ITERATIONS,
+                            cache=VerificationCache())
+        verify_s = time.perf_counter() - t0
+
+        # Calibrate k on the tree machine with a short harness run so
+        # the measured per-iteration cost already includes the loop.
+        parsed, result = _discharged_harness(prog, _PROBE_ITERATIONS)
+        t0 = time.perf_counter()
+        answer = run_program(parsed, mode="full", strategy="cm",
+                             monitor=SCMonitor(measures=prog.measures),
+                             env=env_tree, machine="tree",
+                             discharge=result.policy)
+        dt = time.perf_counter() - t0
+        if answer.kind != Answer.VALUE:
+            raise RuntimeError(f"{prog.name}: calibration failed: {answer!r}")
+        iterations = max(1, min(max_iterations,
+                                int(_PROBE_ITERATIONS * target
+                                    / max(dt, 1e-6))))
+        parsed, result = _discharged_harness(prog, iterations)
+
+        best = {machine: float("inf") for machine in MACHINES}
+        gc_was_enabled = gc.isenabled()
+        gc.disable()
+        try:
+            for _ in range(repeats):
+                for machine in MACHINES:
+                    env = env_tree if machine == "tree" else env_compiled
+                    monitor = SCMonitor(measures=prog.measures)
+                    t0 = time.perf_counter()
+                    answer = run_program(
+                        parsed, mode="full", strategy="cm",
+                        monitor=monitor, env=env, machine=machine,
+                        discharge=result.policy,
+                    )
+                    dt = time.perf_counter() - t0
+                    if answer.kind != Answer.VALUE:
+                        raise RuntimeError(
+                            f"{prog.name} [{machine}] failed: {answer!r}")
+                    if answer.tier != machine:
+                        raise RuntimeError(
+                            f"{prog.name} [{machine}] ran on tier "
+                            f"{answer.tier!r}")
+                    if monitor.calls_seen:
+                        raise RuntimeError(
+                            f"{prog.name} [{machine}]: discharged run "
+                            f"still monitored {monitor.calls_seen} calls")
+                    best[machine] = min(best[machine], dt)
+        finally:
+            if gc_was_enabled:
+                gc.enable()
+                gc.collect()
+        cells.append(NativeCell(
+            prog.name, iterations, best["tree"], best["compiled"],
+            best["native"], verify_s, len(result.policy.skip_labels)))
+    return cells
+
+
+def native_geomeans(cells: Sequence[NativeCell]) -> Dict[str, float]:
+    return {
+        "tree": geomean([c.tree_ratio for c in cells]),
+        "compiled": geomean([c.compiled_ratio for c in cells]),
+    }
+
+
+def native_acceptance(cells: Sequence[NativeCell]) -> bool:
+    means = native_geomeans(cells)
+    return (means["tree"] >= ACCEPTANCE_GEOMEAN
+            and all(c.compiled_ratio >= ACCEPTANCE_VS_COMPILED
+                    for c in cells))
+
+
+def render_native(cells: Sequence[NativeCell]) -> str:
+    headers = ["Program", "iterations", "λs skipped", "verify", "tree",
+               "compiled", "native", "tree/nat", "comp/nat"]
+    body = [[c.program, f"×{c.iterations}", str(c.skipped_labels),
+             fmt_ms(c.verify_s), fmt_ms(c.tree_s), fmt_ms(c.compiled_s),
+             fmt_ms(c.native_s), fmt_factor(c.tree_ratio),
+             fmt_factor(c.compiled_ratio)]
+            for c in cells]
+    table = render_table(
+        headers, body,
+        title="Native tier: three machines on the fully-discharged "
+              "corpus (mode full, cm strategy, residual policy)")
+    means = native_geomeans(cells)
+    slowest = min(cells, key=lambda c: c.compiled_ratio)
+    lines = [table, ""]
+    lines.append(f"native vs tree      geomean {means['tree']:.2f}x "
+                 f"(acceptance >= {ACCEPTANCE_GEOMEAN:.0f}x)")
+    lines.append(f"native vs compiled  geomean {means['compiled']:.2f}x "
+                 f"(acceptance >= {ACCEPTANCE_VS_COMPILED:.1f}x on every "
+                 f"program; worst: {slowest.program} "
+                 f"{slowest.compiled_ratio:.2f}x)")
+    lines.append(
+        f"\nacceptance: {'PASS' if native_acceptance(cells) else 'MISS'}")
+    return "\n".join(lines)
+
+
+def native_report(cells: Sequence[NativeCell], scale: str,
+                  repeats: Optional[int] = None) -> dict:
+    """The machine-readable report (``BENCH_native.json``)."""
+    if repeats is None and scale in _SCALES:
+        repeats = _SCALES[scale][1]
+    means = native_geomeans(cells)
+    return {
+        "schema": "bench-native/v1",
+        "scale": scale,
+        "repeats": repeats,
+        "python": platform.python_version(),
+        "implementation": platform.python_implementation(),
+        "cells": [
+            {
+                "program": c.program,
+                "iterations": c.iterations,
+                "skipped_labels": c.skipped_labels,
+                "verify_s": c.verify_s,
+                "tree_s": c.tree_s,
+                "compiled_s": c.compiled_s,
+                "native_s": c.native_s,
+                "tree_ratio": c.tree_ratio,
+                "compiled_ratio": c.compiled_ratio,
+            }
+            for c in cells
+        ],
+        "geomeans": means,
+        "acceptance": {
+            "tree_geomean": means["tree"],
+            "tree_target": ACCEPTANCE_GEOMEAN,
+            "compiled_worst": min((c.compiled_ratio for c in cells),
+                                  default=0.0),
+            "compiled_target": ACCEPTANCE_VS_COMPILED,
+            "pass": native_acceptance(cells),
+        },
+    }
+
+
+def write_native_json(cells: Sequence[NativeCell], path: str,
+                      scale: str, repeats: Optional[int] = None) -> None:
+    with open(path, "w") as f:
+        json.dump(native_report(cells, scale, repeats), f, indent=2)
+        f.write("\n")

@@ -3,7 +3,7 @@
 Subcommands::
 
     sized run FILE [--mode off|contract|full] [--strategy cm|imperative]
-                   [--machine compiled|tree] [--backoff] [--mc]
+                   [--machine compiled|tree|native] [--backoff] [--mc]
                    [--engine bitmask|reference] [--max-steps N]
                    [--discharge off|try|require] [--discharge-cache DIR]
                    [--result-kind NAME=KIND ...]
@@ -11,7 +11,8 @@ Subcommands::
                       [--mc] [--engine bitmask|reference] [--json]
     sized trace FILE [--mode full|contract] [--machine compiled|tree]
                      [--mc] [--max-steps N] [--max-depth N] [--max-nodes N]
-    sized bench table1|fig10|divergence|ablation|mc|compose|interp|residual
+    sized bench table1|fig10|divergence|ablation|mc|compose|interp|
+                residual|native
                 [--scale quick|full] [--smoke] [--out PATH]
     sized corpus [--diverging]
     sized serve [--host H] [--port P] [--workers N] [--batch-window-ms MS]
@@ -44,14 +45,18 @@ call sequences; ``sized bench compose`` measures the gap.
 
 ``--machine`` selects the evaluator: ``compiled`` (default — the
 lexical-addressing pass of :mod:`repro.lang.resolve` plus the slot-frame
-machine) or ``tree`` (the direct AST walker).  Both produce identical
-answers; ``sized bench interp`` measures the gap and writes
-``BENCH_interp.json``.
+machine), ``tree`` (the direct AST walker) or ``native`` (``run`` only:
+exec-generated Python bodies for discharged λs, trampoline-driven, with
+automatic fallback to the compiled machine's ``eval_code`` for anything
+residual-monitored).  All produce identical answers; ``sized bench
+interp`` measures the compiled/tree gap (``BENCH_interp.json``) and
+``sized bench native`` the native-tier speedup (``BENCH_native.json``).
 
 ``fuzz`` drives the property-based differential tester of
 :mod:`repro.fuzz`: seeded generation of terminating- and
-diverging-by-construction programs, the 12-cell
-{tree, compiled} × {bitmask, reference} × {off, monitored, discharged}
+diverging-by-construction programs, the 18-cell
+{tree, compiled, native} × {bitmask, reference} × {off, monitored,
+discharged}
 matrix, greedy shrinking, and the ``tests/regressions/`` archive.
 ``--replay`` re-runs one archived ``.scm`` repro (or any campaign seed
 via ``--seed S --n 1``).  The exit code gates CI: 0 when every oracle
@@ -108,10 +113,12 @@ def main(argv: Optional[List[str]] = None) -> int:
     p_run.add_argument("--engine", choices=["bitmask", "reference"],
                        default="bitmask",
                        help="size-change graph representation to compose")
-    p_run.add_argument("--machine", choices=["compiled", "tree"],
+    p_run.add_argument("--machine", choices=["compiled", "tree", "native"],
                        default="compiled",
                        help="evaluator: lexically-addressed slot-frame "
-                            "machine (default) or the tree walker")
+                            "machine (default), the tree walker, or the "
+                            "native tier (Python-compiled discharged λs "
+                            "with compiled-machine fallback)")
     p_run.add_argument("--max-steps", type=int, default=None)
     p_run.add_argument("--fuel", type=int, default=None,
                        help="step bound with a distinct FuelExhausted "
@@ -167,17 +174,18 @@ def main(argv: Optional[List[str]] = None) -> int:
     p_bench = sub.add_parser("bench", help="regenerate a table or figure")
     p_bench.add_argument("which",
                          choices=["table1", "fig10", "divergence", "ablation",
-                                  "mc", "compose", "interp", "residual"])
+                                  "mc", "compose", "interp", "residual",
+                                  "native"])
     p_bench.add_argument("--scale", choices=["quick", "full"], default="quick")
     p_bench.add_argument("--repeats", type=int, default=None,
                          help="best-of repeats per cell (default: 3, or the"
                               " interp scale's own default)")
     p_bench.add_argument("--smoke", action="store_true",
-                         help="interp/residual: the tiny CI subset")
+                         help="interp/residual/native: the tiny CI subset")
     p_bench.add_argument("--out", default=None,
-                         help="interp/residual: where to write the JSON "
-                              "report (default BENCH_interp.json / "
-                              "BENCH_residual.json)")
+                         help="interp/residual/native: where to write the "
+                              "JSON report (default BENCH_interp.json / "
+                              "BENCH_residual.json / BENCH_native.json)")
 
     p_corpus = sub.add_parser("corpus", help="list the evaluation corpus")
     p_corpus.add_argument("--diverging", action="store_true")
@@ -459,6 +467,18 @@ def _cmd_bench(args) -> int:
         print(render_residual(cells))
         write_residual_json(cells, out, scale=scale, repeats=args.repeats)
         print(f"\nwrote {out}")
+    elif args.which == "native":
+        from repro.bench import (render_native, run_native,
+                                 write_native_json)
+        from repro.bench.native import native_acceptance
+
+        scale = "smoke" if args.smoke else args.scale
+        out = args.out or "BENCH_native.json"
+        cells = run_native(scale=scale, repeats=args.repeats)
+        print(render_native(cells))
+        write_native_json(cells, out, scale=scale, repeats=args.repeats)
+        print(f"\nwrote {out}")
+        return 0 if native_acceptance(cells) else 1
     else:
         from repro.bench import render_ablation, run_ablation
 

@@ -42,6 +42,7 @@ import weakref
 from typing import List, Optional
 
 from repro.ds.hamt import Hamt
+from repro.ds.lru import LRU
 from repro.eval.errors import FuelExhausted, MachineTimeout, SchemeError
 from repro.lang import ast, libraries
 from repro.lang.parser import parse_program
@@ -98,16 +99,22 @@ _EMPTY_FSET = frozenset()
 
 ROOT_BLAME = "the program"
 
-MACHINES = ("compiled", "tree")
+MACHINES = ("compiled", "tree", "native")
 
 _K = ast  # short alias for kind constants
 
 
 class Answer:
     """The observable outcome of a run: a value, ``errorRT``, ``errorSC``,
-    or a fuel timeout (only possible without monitoring)."""
+    or a fuel timeout (only possible without monitoring).
 
-    __slots__ = ("kind", "value", "error", "violation", "output", "steps")
+    ``tier`` names the execution tier that actually did the work:
+    ``'tree'``, ``'compiled'``, or ``'native'`` when a ``machine='native'``
+    run entered at least one native frame (a native run that stayed on
+    the interpreter — nothing eligible — reports ``'compiled'``)."""
+
+    __slots__ = ("kind", "value", "error", "violation", "output", "steps",
+                 "tier")
 
     VALUE = "value"
     RT_ERROR = "rt-error"
@@ -115,13 +122,15 @@ class Answer:
     TIMEOUT = "timeout"
 
     def __init__(self, kind, value=None, error=None, violation=None,
-                 output: str = "", steps: int = 0):
+                 output: str = "", steps: int = 0,
+                 tier: Optional[str] = None):
         self.kind = kind
         self.value = value
         self.error = error
         self.violation = violation
         self.output = output
         self.steps = steps
+        self.tier = tier
 
     def is_value(self) -> bool:
         return self.kind == Answer.VALUE
@@ -403,19 +412,30 @@ _CODE_CACHE: "weakref.WeakKeyDictionary[ast.Node, dict]" = \
     weakref.WeakKeyDictionary()
 
 
+# How many distinct discharge policies stay resolved per AST node.  A
+# handful covers every real workload (one unmarked + one policy per
+# verification outcome); the bound exists so a long-lived process fed
+# adversarial policies cannot grow a per-program cache without limit.
+# Evicted policies simply re-resolve (and re-attach native code) on the
+# next use.
+_POLICY_CACHE_SIZE = 8
+
+
 def compile_code(expr: ast.Node, skip_labels=None) -> Code:
     """The lexically-addressed code for ``expr`` (cached per AST node and
-    per discharge policy, so repeated runs pay for resolution once).
+    per discharge policy, so repeated runs pay for resolution once; the
+    per-node policy map is a small :class:`~repro.ds.lru.LRU`).
 
     ``skip_labels`` — λ labels discharged by a
     :class:`~repro.analysis.discharge.ResidualPolicy`; matching λs
     compile with the monitor-free ``discharged`` mark."""
     per_policy = _CODE_CACHE.get(expr)
     if per_policy is None:
-        per_policy = _CODE_CACHE[expr] = {}
+        per_policy = _CODE_CACHE[expr] = LRU(_POLICY_CACHE_SIZE)
     code = per_policy.get(skip_labels)
     if code is None:
-        code = per_policy[skip_labels] = resolve(expr, skip_labels)
+        code = resolve(expr, skip_labels)
+        per_policy.put(skip_labels, code)
     return code
 
 
@@ -428,6 +448,8 @@ def eval_code(
     monitor: Optional[SCMonitor] = None,
     fuel: Optional[_Fuel] = None,
     mtable: Optional[dict] = None,
+    init_state=None,
+    native=None,
 ):
     """Evaluate one compiled form to a value (raises on errors/violations).
 
@@ -438,6 +460,16 @@ def eval_code(
     arguments, inline evaluation of immediate subexpressions, and the
     monitor fast path (cached per-closure key, ``advance_fast``) when the
     monitor's policy permits an exact inline replication of ``upd``.
+
+    ``init_state`` — an (s1, s2) monitoring-state pair to start from
+    instead of the mode's default; the native tier's fallback uses it to
+    resume interpretation under the state captured at native entry.
+
+    ``native`` — a :class:`repro.eval.native.NativeContext`; when given,
+    applying a closure the native tier covers (compiled body, and either
+    an unmonitored mode or a discharged/skip-listed λ) hands the call to
+    the native trampoline instead of entering the body here.  Fallbacks
+    from native code pass ``native=None``, which bounds tier nesting.
     """
     if monitor is None:
         monitor = SCMonitor()
@@ -479,6 +511,8 @@ def eval_code(
     else:
         s1 = False if imperative else None
         s2 = None
+    if init_state is not None:
+        s1, s2 = init_state
     if imperative and mtable is None:
         mtable = {}
 
@@ -922,6 +956,21 @@ def eval_code(
                             f" got {nargs}",
                             loc,
                         )
+                    if native is not None and clam.native is not None and (
+                            not monitored_modes or clam.discharged or
+                            (skips is not None and clam.label in skips)):
+                        # Native-tier handoff: the trampoline runs this
+                        # call to completion (with interpreter fallbacks
+                        # for residual-monitored callees under the state
+                        # captured here).  Fuel is shared through the
+                        # _Fuel cell, so publish and reload around it.
+                        fuel.left = steps_left
+                        try:
+                            val = native.enter(fn, vals, s1, s2)
+                        finally:
+                            steps_left = fuel.left
+                        returning = True
+                        break
                     if imperative:
                         if s1 and not clam.discharged and (
                                 skips is None or clam.label not in skips) and (
@@ -1051,8 +1100,15 @@ _contracts_program = libraries.contracts_program
 
 def _check_machine(machine: str) -> None:
     if machine not in MACHINES:
-        raise ValueError(f"unknown machine: {machine!r} (use 'compiled' or"
-                         f" 'tree')")
+        raise ValueError(f"unknown machine: {machine!r} (use 'compiled',"
+                         f" 'tree' or 'native')")
+
+
+def _env_family(machine: str) -> str:
+    """The closure representation a machine consumes.  The native tier
+    executes compiled-machine closures (same CLam, same list frames), so
+    'compiled' and 'native' environments are interchangeable."""
+    return "tree" if machine == "tree" else "compiled"
 
 
 def make_env(include_prelude: bool = True,
@@ -1061,16 +1117,17 @@ def make_env(include_prelude: bool = True,
     contract library (:mod:`repro.lang.contracts_lib`).
 
     ``machine`` selects which evaluator builds the prelude closures.  The
-    two machines' closures carry different environment representations
-    (dict ribs vs list frames), so an environment is only usable by the
-    machine that built it; :func:`run_program` checks.
+    tree and compiled machines' closures carry different environment
+    representations (dict ribs vs list frames), so an environment is only
+    usable by the machine *family* that built it (:func:`run_program`
+    checks); the native tier shares the compiled representation.
     """
     _check_machine(machine)
     env = GlobalEnv(dict(PRIMITIVES))
-    env.flavor = machine
+    env.flavor = _env_family(machine)
     if include_prelude:
         fuel = _Fuel(None)
-        compiled = machine == "compiled"
+        compiled = machine != "tree"
         for library in (_prelude_program(), _contracts_program()):
             for form in library.forms:
                 assert isinstance(form, TopDefine)
@@ -1138,7 +1195,7 @@ def run_program(
     if env is None:
         env = make_env(include_prelude, machine=machine)
     else:
-        if env.flavor is not None and env.flavor != machine:
+        if env.flavor is not None and env.flavor != _env_family(machine):
             raise ValueError(
                 f"environment built by the {env.flavor!r} machine cannot "
                 f"run on the {machine!r} machine (closure representations "
@@ -1171,20 +1228,43 @@ def run_program(
     budget = _Fuel(max_steps)
     mtable: dict = {}
     last = VOID
-    compiled = machine == "compiled"
+    compiled = machine != "tree"
+    native_ctx = None
+    if machine == "native":
+        from repro.eval.native import (
+            NativeContext,
+            ensure_native,
+            ensure_native_libraries,
+        )
+
+        # Library λs were resolved policy-free; their native code plus
+        # the monitor's (already installed) skip set is what lets a
+        # policy-covered prelude closure run natively.
+        ensure_native_libraries()
+        native_ctx = NativeContext(env, mode=mode, strategy=strategy,
+                                   monitor=monitor, mtable=mtable,
+                                   fuel=budget)
 
     def spent() -> int:
         # The eval loops publish fuel.left in a finally, so this is
         # accurate on error/violation/timeout paths too.
         return 0 if max_steps is None else max_steps - max(budget.left, 0)
 
+    def tier() -> str:
+        if native_ctx is not None:
+            return "native" if native_ctx.entries else "compiled"
+        return machine
+
     try:
         for form in program.forms:
             if compiled:
+                code = compile_code(form.expr, skip_labels)
+                if native_ctx is not None:
+                    ensure_native(code)
                 value = eval_code(
-                    compile_code(form.expr, skip_labels), env, mode=mode,
+                    code, env, mode=mode,
                     strategy=strategy, monitor=monitor, fuel=budget,
-                    mtable=mtable,
+                    mtable=mtable, native=native_ctx,
                 )
             else:
                 value = eval_expr(
@@ -1199,17 +1279,17 @@ def run_program(
                 last = value
     except SchemeError as exc:
         return Answer(Answer.RT_ERROR, error=exc, output="".join(output),
-                      steps=spent())
+                      steps=spent(), tier=tier())
     except SizeChangeViolation as exc:
         return Answer(Answer.SC_ERROR, violation=exc,
-                      output="".join(output), steps=spent())
+                      output="".join(output), steps=spent(), tier=tier())
     except MachineTimeout as exc:
         return Answer(Answer.TIMEOUT, error=exc, output="".join(output),
-                      steps=spent())
+                      steps=spent(), tier=tier())
     finally:
         monitor.skip_labels = saved_skip_labels
     return Answer(Answer.VALUE, value=last, output="".join(output),
-                  steps=spent())
+                  steps=spent(), tier=tier())
 
 
 def run_source(

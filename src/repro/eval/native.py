@@ -1,0 +1,1060 @@
+"""The native tier: discharged λs compiled to exec-generated Python.
+
+PR 4 measured that once a λ's termination checks are statically
+discharged, all remaining cost is interpretation overhead — the
+compiled machine still dispatches on code tags, chases frame chains and
+threads an explicit continuation for work that is, semantically, a
+straight-line Python function.  This module removes that layer: each
+eligible :class:`~repro.lang.resolve.CLam` gets a Python function
+generated from its resolved body (``exec`` of synthesized source), and
+a trampoline driver strings those functions together with proper tail
+calls and an interpreter fallback for everything the tier does not
+cover.
+
+Tier-selection rule (checked per *application*, so one program freely
+mixes native and interpreted frames across call boundaries):
+
+* under ``mode='off'`` every compiled λ is eligible — there is no
+  monitoring state to maintain;
+* under the monitored modes only λs the active
+  :class:`~repro.analysis.discharge.ResidualPolicy` proved terminating
+  run natively: those marked ``discharged`` at resolve time, plus
+  library λs covered by the monitor's ``skip_labels`` (prelude closures
+  are resolved before any policy exists, so the label set is their only
+  mark).  Discharged λs never touch monitoring state, which is what
+  makes a native frame transparent: the (s1, s2) pair captured at
+  native entry is exactly the state any residual-monitored callee must
+  observe.
+
+Everything else falls back to :func:`repro.eval.machine.eval_code`
+mid-flight — residual-monitored closures, ``term/c``-wrapped callees
+under monitoring, λs whose bodies the emitter rejected.  The fallback
+runs with the captured monitoring state (``init_state``) and the shared
+fuel and mutation table, and it does *not* re-enter the native tier, so
+tier nesting is bounded at one interpreter frame regardless of object-
+language recursion depth.
+
+Stack discipline: native functions never call each other on the Python
+stack.  Tail calls *return* a :class:`_Call` request; non-tail calls
+are compiled into generator functions that *yield* the request and are
+resumed with the result — the driver keeps suspended generators on an
+explicit list, so object-language recursion deeper than CPython's
+recursion limit costs heap, not stack.  λs with no closure-risky
+non-tail call sites compile to plain (non-generator) functions and skip
+the generator machinery entirely.
+
+Fuel: the driver charges the shared :class:`~repro.eval.machine._Fuel`
+once per application (and compiled self-tail loops charge at their
+back-edge), so a diverging program exhausts any finite budget — every
+object-language loop passes through an application.  Step *counts* are
+not identical across tiers (they already differ between the tree and
+compiled machines); the differential oracle compares outcome kinds, not
+counters.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.eval.errors import FuelExhausted, SchemeError
+from repro.lang.prims import PRIMITIVES
+from repro.lang.resolve import (
+    CApp,
+    CLit,
+    T_APP,
+    T_BEGIN,
+    T_GLOBAL,
+    T_IF,
+    T_LAM,
+    T_LET,
+    T_LETREC,
+    T_LIT,
+    T_LOCAL,
+    T_SETGLOBAL,
+    T_SETLOCAL,
+    T_TERMC,
+)
+from repro.values.env import UnboundVariable
+from repro.values.values import (
+    NIL,
+    VOID,
+    Char,
+    Closure,
+    Pair,
+    Prim,
+    TermWrapped,
+    write_value,
+)
+
+__all__ = ["NativeContext", "ensure_native", "ensure_native_libraries"]
+
+# Names statically bound to primitives in every fresh environment.  A
+# non-tail call whose head is one of these is *prim-likely*: the emitter
+# inlines the primitive dispatch and only a rebinding (``(define + ...)``)
+# diverts it to the slow path.  Heads outside this set are closure-risky
+# and force the generator calling convention.
+_PRIM_NAMES = frozenset(sym.name for sym in PRIMITIVES)
+_PRIM_BY_SNAME = {sym.name: prim for sym, prim in PRIMITIVES.items()}
+
+# Emitter guard rails: programs nested past these bounds fall back to the
+# interpreter rather than fight CPython's parser limits.
+_MAX_INDENT = 60
+_MAX_SOURCE = 262_144
+
+# How many native frames may nest on the Python stack before call sites
+# revert to the trampoline protocol.  Each level costs a handful of
+# CPython frames, so the bound keeps total stack use far below the
+# default recursion limit while amortizing the driver's per-call cost
+# over K direct calls.
+_DIRECT_DEPTH = 40
+
+
+# -- inline primitive fast paths ------------------------------------------------
+#
+# Each entry maps a primitive's name to an expression generator: given the
+# (frozen) argument temps, return a Python expression computing exactly what
+# ``prim.fn(args)`` would, or None when the static argument count has no
+# fast path.  Every generated expression keeps the primitive's full
+# semantics by delegating to ``{h}.fn([...])`` outside its fast case (type
+# mismatches, non-int numerics), so error payloads stay byte-identical.
+# The emitter guards the whole expression with an identity test against
+# the primitive object itself — a program that rebinds ``+`` falls through
+# to the generic dispatch, same as before.
+
+def _inl_arith(op: str):
+    def gen(h, a):
+        if len(a) != 2:
+            return None
+        x, y = a
+        return (f"({x} {op} {y}) if type({x}) is int and type({y}) is int"
+                f" else {h}.fn([{x}, {y}])")
+    return gen
+
+
+def _inl_field(attr: str):
+    def gen(h, a):
+        if len(a) != 1:
+            return None
+        x = a[0]
+        return f"{x}.{attr} if type({x}) is _Pair else {h}.fn([{x}])"
+    return gen
+
+
+def _inl_total(tmpl: str):
+    def gen(h, a):
+        return tmpl.format(a=a[0]) if len(a) == 1 else None
+    return gen
+
+
+def _inl_zero(h, a):
+    if len(a) != 1:
+        return None
+    x = a[0]
+    return f"({x} == 0) if type({x}) is int else {h}.fn([{x}])"
+
+
+def _inl_cons(h, a):
+    return f"_Pair({a[0]}, {a[1]})" if len(a) == 2 else None
+
+
+def _inl_list(h, a):
+    expr = "_NIL"
+    for x in reversed(a):
+        expr = f"_Pair({x}, {expr})"
+    return expr
+
+
+def _inl_eq(h, a):
+    if len(a) != 2:
+        return None
+    x, y = a
+    return f"True if {x} is {y} else {h}.fn([{x}, {y}])"
+
+
+def _inl_chareq(h, a):
+    if len(a) != 2:
+        return None
+    x, y = a
+    return (f"({x}.value == {y}.value) if type({x}) is _Char"
+            f" and type({y}) is _Char else {h}.fn([{x}, {y}])")
+
+
+_INLINE_PRIMS = {
+    "+": _inl_arith("+"),
+    "-": _inl_arith("-"),
+    "*": _inl_arith("*"),
+    "=": _inl_arith("=="),
+    "<": _inl_arith("<"),
+    ">": _inl_arith(">"),
+    "<=": _inl_arith("<="),
+    ">=": _inl_arith(">="),
+    "zero?": _inl_zero,
+    "null?": _inl_total("({a} is _NIL)"),
+    "empty?": _inl_total("({a} is _NIL)"),
+    "pair?": _inl_total("(type({a}) is _Pair)"),
+    "cons?": _inl_total("(type({a}) is _Pair)"),
+    "not": _inl_total("({a} is False)"),
+    "cons": _inl_cons,
+    "list": _inl_list,
+    "eq?": _inl_eq,
+    "car": _inl_field("car"),
+    "cdr": _inl_field("cdr"),
+    "first": _inl_field("car"),
+    "rest": _inl_field("cdr"),
+    "char=?": _inl_chareq,
+}
+
+
+class _Call:
+    """A requested application, passed between native code and the
+    driver.  ``vals`` is the future frame: slot 0 is a placeholder the
+    driver overwrites with the callee's captured environment (the same
+    zero-copy convention ``eval_code`` uses for its argument lists).
+    User values can never be instances of this class, so an identity
+    type check cleanly separates requests from return values."""
+
+    __slots__ = ("fn", "vals", "loc", "tail")
+
+    def __init__(self, fn, vals, loc, tail: bool = True):
+        self.fn = fn
+        self.vals = vals
+        self.loc = loc
+        self.tail = tail
+
+
+class NativeContext:
+    """Per-run state shared by every native frame: the global
+    environment, the monitoring configuration for fallbacks, the fuel
+    cell, and the trampoline itself."""
+
+    __slots__ = ("genv", "gget", "mode", "strategy", "monitor", "mtable",
+                 "fuel", "monitored", "skips", "entries", "s1", "s2", "d")
+
+    def __init__(self, genv, *, mode: str, strategy: str, monitor,
+                 mtable: Optional[dict], fuel):
+        self.genv = genv
+        self.gget = genv.by_name.get
+        self.mode = mode
+        self.strategy = strategy
+        self.monitor = monitor
+        self.mtable = mtable
+        self.fuel = fuel
+        self.monitored = mode != "off"
+        self.skips = monitor.skip_labels
+        self.entries = 0
+        self.s1 = None
+        self.s2 = None
+        # Direct-call depth: native frames may call each other on the
+        # Python stack up to _DIRECT_DEPTH deep (see the emitter's
+        # direct-call fast paths); past the bound they fall back to the
+        # trampoline protocol, so total stack use stays constant.  The
+        # counter is monotone-correct: an exception that skips decrements
+        # only makes later calls more conservative, never unsound.
+        self.d = 0
+
+    def eligible(self, clam) -> bool:
+        """The tier-selection rule (mirrors the inline check in
+        ``eval_code``'s APPLY)."""
+        if clam.native is None:
+            return False
+        if not self.monitored or clam.discharged:
+            return True
+        skips = self.skips
+        return skips is not None and clam.label in skips
+
+    def enter(self, fn, vals, s1, s2):
+        """Called from ``eval_code``'s APPLY: run an eligible closure
+        natively and return its value.  (s1, s2) is the monitoring state
+        at the call site; native frames never change it, so it is what
+        every fallback inside this extent must see."""
+        self.entries += 1
+        self.s1 = s1
+        self.s2 = s2
+        return self._drive(fn, vals, None)
+
+    def _drive(self, fn, vals, loc):
+        """The trampoline: applies (fn, vals) to completion.  Suspended
+        generator frames live on an explicit stack, so object-language
+        non-tail recursion costs heap, never Python stack."""
+        fuel = self.fuel
+        monitored = self.monitored
+        skips = self.skips
+        stack: List = []
+        value = None
+        applying = True
+        while True:
+            if applying:
+                left = fuel.left
+                if left >= 0:
+                    if left == 0:
+                        raise FuelExhausted(fuel.limit)
+                    fuel.left = left - 1
+                tf = type(fn)
+                if tf is Closure:
+                    clam = fn.lam
+                    if len(vals) - 1 != clam.nparams:
+                        raise SchemeError(
+                            f"{fn.describe()}: expected {clam.nparams} "
+                            f"arguments, got {len(vals) - 1}",
+                            loc,
+                        )
+                    nf = clam.native
+                    if nf is not None and (
+                            not monitored or clam.discharged or
+                            (skips is not None and clam.label in skips)):
+                        vals[0] = fn.env
+                        if clam.native_is_gen:
+                            gen = nf(fn, vals, self)
+                            out = gen.send(None)
+                            if type(out) is _Call:
+                                if not out.tail:
+                                    stack.append(gen)
+                                fn = out.fn
+                                vals = out.vals
+                                loc = out.loc
+                                continue
+                            value = out
+                            applying = False
+                            continue
+                        out = nf(fn, vals, self)
+                        if type(out) is _Call:
+                            fn = out.fn
+                            vals = out.vals
+                            loc = out.loc
+                            continue
+                        value = out
+                        applying = False
+                        continue
+                    # Residual-monitored (or emitter-rejected) closure:
+                    # the interpreter runs it under the captured state.
+                    value = self.fallback_call(fn, vals, loc)
+                    applying = False
+                    continue
+                if tf is Prim:
+                    n = len(vals) - 1
+                    if n < fn.arity_min or (fn.arity_max is not None
+                                            and n > fn.arity_max):
+                        raise SchemeError(
+                            f"{fn.name}: arity mismatch with {n} arguments",
+                            loc,
+                        )
+                    value = fn.fn(vals[1:])
+                    applying = False
+                    continue
+                if tf is TermWrapped:
+                    if monitored:
+                        # Applying a wrapper (re)starts monitoring for
+                        # the callee's extent — interpreter territory.
+                        value = self.fallback_call(fn, vals, loc)
+                        applying = False
+                        continue
+                    fn = fn.closure
+                    continue
+                raise SchemeError(
+                    f"application of a non-procedure: {write_value(fn)}", loc
+                )
+            else:
+                # Return `value` to the innermost suspended frame.
+                if not stack:
+                    return value
+                out = stack[-1].send(value)
+                if type(out) is _Call:
+                    if out.tail:
+                        stack.pop()
+                    fn = out.fn
+                    vals = out.vals
+                    loc = out.loc
+                    applying = True
+                    continue
+                stack.pop()
+                value = out
+                continue
+
+    def fallback(self, fn, vals, loc):
+        """Slow path for plain-compiled call sites whose prim-likely head
+        turned out not to be a primitive."""
+        tf = type(fn)
+        if tf is Closure or tf is TermWrapped:
+            return self.fallback_call(fn, vals, loc)
+        raise SchemeError(
+            f"application of a non-procedure: {write_value(fn)}", loc)
+
+    def fallback_call(self, fn, vals, loc):
+        """Apply ``fn`` on the interpreter, under the monitoring state
+        captured at native entry.  The synthesized application is all
+        literals, so ``eval_code`` goes straight to APPLY with the
+        original source location — error and violation payloads are
+        byte-identical to a fully-interpreted run.  The fallback gets no
+        native context, which bounds tier nesting: however deep the
+        object program recurses, at most one extra interpreter invocation
+        sits on the Python stack."""
+        from repro.eval.machine import eval_code
+
+        exprs = [CLit(fn)]
+        for a in vals[1:]:
+            exprs.append(CLit(a))
+        capp = CApp(tuple(exprs), loc)
+        return eval_code(
+            capp, self.genv, mode=self.mode, strategy=self.strategy,
+            monitor=self.monitor, fuel=self.fuel, mtable=self.mtable,
+            init_state=(self.s1, self.s2),
+        )
+
+    def setglobal(self, name, value):
+        """``set!`` on a global from native code (same error contract as
+        the machines: the UnboundVariable text, no location)."""
+        try:
+            self.genv.set(name, value)
+        except UnboundVariable as exc:
+            raise SchemeError(str(exc)) from None
+
+
+# -- the compiler ---------------------------------------------------------------
+
+
+class _Unsupported(Exception):
+    """Raised by the emitter for bodies it refuses (pathological nesting
+    or size); the λ keeps ``native=None`` and runs interpreted."""
+
+
+class _Rib:
+    """A compile-time rib: either real list frames (``frame``) or
+    renamed Python locals (``locals``).  ``checking`` is True while the
+    rib's letrec right-hand sides are being emitted — reads from the rib
+    in that region need the used-before-initialization check."""
+
+    __slots__ = ("kind", "var", "slots", "checking")
+
+    def __init__(self, kind: str, var: Optional[str] = None,
+                 slots: Optional[List[str]] = None,
+                 checking: bool = False):
+        self.kind = kind
+        self.var = var
+        self.slots = slots
+        self.checking = checking
+
+
+def _contains_lam(code) -> bool:
+    """True if any nested λ occurs in ``code`` (stops the locals-mode
+    optimization: a nested λ captures real frames)."""
+    stack = [code]
+    while stack:
+        node = stack.pop()
+        t = node.tag
+        if t == T_LAM:
+            return True
+        if t == T_APP:
+            stack.extend(node.exprs)
+        elif t == T_IF:
+            stack.append(node.test)
+            stack.append(node.then)
+            stack.append(node.els)
+        elif t == T_BEGIN:
+            stack.extend(node.body)
+        elif t == T_LET or t == T_LETREC:
+            stack.extend(node.rhss)
+            stack.append(node.body)
+        elif t == T_SETLOCAL or t == T_SETGLOBAL or t == T_TERMC:
+            stack.append(node.expr)
+    return False
+
+
+def _has_risky_nontail(code) -> bool:
+    """True if the body has a non-tail application whose head is not
+    statically prim-likely — the sites that need the generator calling
+    convention to suspend without growing the Python stack."""
+    # Work list of (node, in_tail_position).
+    stack = [(code, True)]
+    while stack:
+        node, tail = stack.pop()
+        t = node.tag
+        if t == T_APP:
+            head = node.exprs[0]
+            if not tail and not (head.tag == T_GLOBAL
+                                 and head.sname in _PRIM_NAMES):
+                return True
+            for e in node.exprs:
+                stack.append((e, False))
+        elif t == T_IF:
+            stack.append((node.test, False))
+            stack.append((node.then, tail))
+            stack.append((node.els, tail))
+        elif t == T_BEGIN:
+            body = node.body
+            for e in body[:-1]:
+                stack.append((e, False))
+            stack.append((body[-1], tail))
+        elif t == T_LET or t == T_LETREC:
+            for e in node.rhss:
+                stack.append((e, False))
+            stack.append((node.body, tail))
+        elif t == T_SETLOCAL or t == T_SETGLOBAL or t == T_TERMC:
+            stack.append((node.expr, False))
+        # T_LAM: nested λs compile separately; their sites don't count.
+    return False
+
+
+class _Emitter:
+    """Generates the Python source for one λ body.
+
+    ``compile_value`` returns a Python expression string for the node's
+    value (statements for any sub-evaluation are emitted first);
+    ``compile_tail`` emits the statements that finish the function —
+    a value return, a tail-call request, or a compiled self-tail loop
+    back-edge.  Expression strings are either *stable* (literals,
+    temps — safe to use later) or *volatile* (raw reads of mutable
+    slots — must be frozen into a temp before any further evaluation
+    can run)."""
+
+    def __init__(self, clam, is_gen: bool, frame_mode: bool):
+        self.clam = clam
+        self.is_gen = is_gen
+        self.frame_mode = frame_mode
+        self.lines: List[str] = []
+        self.ntmp = 0
+        self.consts: List = []
+        self.cids: dict = {}
+        self.uses_consts = False
+        self.uses_gget = False
+        self.uses_fuel = False
+        self.uses_rt = False
+        self.uses_env = False
+        self.uses_direct = False
+        self.ribs: List[_Rib] = []
+
+    # -- infrastructure ---------------------------------------------------------
+
+    def gensym(self) -> str:
+        self.ntmp += 1
+        return f"_t{self.ntmp}"
+
+    def line(self, ind: int, text: str) -> None:
+        if ind > _MAX_INDENT:
+            raise _Unsupported("nesting too deep")
+        self.lines.append("    " * ind + text)
+
+    def const(self, value) -> str:
+        self.uses_consts = True
+        key = id(value)
+        i = self.cids.get(key)
+        if i is None:
+            i = len(self.consts)
+            self.consts.append(value)
+            self.cids[key] = i
+        return f"_C[{i}]"
+
+    def cref(self, loc) -> str:
+        return "None" if loc is None else self.const(loc)
+
+    def lit(self, value) -> str:
+        """Inline representation for simple literals; a const slot for
+        everything else."""
+        if value is True:
+            return "True"
+        if value is False:
+            return "False"
+        if type(value) is int and -2**31 < value < 2**31:
+            return f"({value})"
+        if type(value) is str and len(value) < 64:
+            return repr(value)
+        return self.const(value)
+
+    def freeze(self, expr: str, ind: int) -> str:
+        if expr.isidentifier():
+            return expr
+        t = self.gensym()
+        self.line(ind, f"{t} = {expr}")
+        return t
+
+    def env_chain(self, extra: int) -> str:
+        self.uses_env = True
+        return "_e" + "[0]" * extra
+
+    # -- variable access --------------------------------------------------------
+
+    def local_read(self, depth: int, idx: int, name, loc, ind: int):
+        """Returns (expr, volatile) for a lexical read, emitting the
+        used-before-initialization check where one is needed."""
+        nribs = len(self.ribs)
+        if depth < nribs:
+            rib = self.ribs[nribs - 1 - depth]
+            if rib.kind == "locals":
+                expr = rib.slots[idx - 1]
+            else:
+                expr = f"{rib.var}[{idx}]"
+            if not rib.checking:
+                return expr, True
+        else:
+            expr = f"{self.env_chain(depth - nribs)}[{idx}]"
+        # Letrec-in-initialization or captured-environment read: the slot
+        # may hold the undefined marker.
+        t = self.gensym()
+        self.line(ind, f"{t} = {expr}")
+        self.line(ind, f"if {t} is _UNDEF:")
+        msg = f"{name.name}: used before initialization"
+        self.line(ind + 1, f"raise _SErr({msg!r}, {self.cref(loc)})")
+        return t, False
+
+    def local_target(self, depth: int, idx: int) -> str:
+        nribs = len(self.ribs)
+        if depth < nribs:
+            rib = self.ribs[nribs - 1 - depth]
+            if rib.kind == "locals":
+                return rib.slots[idx - 1]
+            return f"{rib.var}[{idx}]"
+        return f"{self.env_chain(depth - nribs)}[{idx}]"
+
+    def global_read(self, node, ind: int) -> str:
+        self.uses_gget = True
+        t = self.gensym()
+        self.line(ind, f"{t} = _G({node.sname!r}, _UNDEF)")
+        self.line(ind, f"if {t} is _UNDEF:")
+        msg = f"unbound variable: {node.name.name}"
+        self.line(ind + 1, f"raise _SErr({msg!r}, {self.cref(node.loc)})")
+        return t
+
+    # -- expression compilation -------------------------------------------------
+
+    def compile_value(self, e, ind: int):
+        """(expr, volatile) for ``e``'s value in a non-tail position."""
+        t = e.tag
+        if t == T_LIT:
+            return self.lit(e.value), False
+        if t == T_LOCAL:
+            return self.local_read(e.depth, e.idx, e.name, e.loc, ind)
+        if t == T_GLOBAL:
+            return self.global_read(e, ind), False
+        if t == T_LAM:
+            # Only reachable in frame mode (locals mode excludes nested
+            # λs); the innermost rib is always a real frame there.
+            rib = self.ribs[-1]
+            if rib.kind != "frame":  # pragma: no cover - classification
+                raise _Unsupported("nested λ in locals mode")
+            return f"_Closure({self.const(e)}, {rib.var})", False
+        if t == T_APP:
+            return self.value_app(e, ind), False
+        if t == T_IF:
+            target = self.gensym()
+            test, _ = self.compile_value(e.test, ind)
+            self.line(ind, f"if {test} is not False:")
+            self.compile_into(e.then, target, ind + 1)
+            self.line(ind, "else:")
+            self.compile_into(e.els, target, ind + 1)
+            return target, False
+        if t == T_BEGIN:
+            for sub in e.body[:-1]:
+                self.compile_value(sub, ind)  # for effect
+            return self.compile_value(e.body[-1], ind)
+        if t == T_LET:
+            self.emit_let(e, ind)
+            target = self.gensym()
+            self.compile_into(e.body, target, ind)
+            self.ribs.pop()
+            return target, False
+        if t == T_LETREC:
+            self.emit_letrec(e, ind)
+            target = self.gensym()
+            self.compile_into(e.body, target, ind)
+            self.ribs.pop()
+            return target, False
+        if t == T_SETLOCAL:
+            v, _ = self.compile_value(e.expr, ind)
+            self.line(ind, f"{self.local_target(e.depth, e.idx)} = {v}")
+            return "_VOID", False
+        if t == T_SETGLOBAL:
+            v, _ = self.compile_value(e.expr, ind)
+            self.uses_rt = True
+            self.line(ind, f"_rt.setglobal({self.const(e.name)}, {v})")
+            return "_VOID", False
+        if t == T_TERMC:
+            v, _ = self.compile_value(e.expr, ind)
+            t2 = self.gensym()
+            self.line(ind, f"{t2} = {v}")
+            self.line(ind, f"if type({t2}) is _Closure:")
+            self.line(ind + 1, f"{t2} = _TermW({t2}, {e.blame!r})")
+            return t2, False
+        raise _Unsupported(f"code tag {t}")  # pragma: no cover
+
+    def compile_into(self, e, target: str, ind: int) -> None:
+        v, _ = self.compile_value(e, ind)
+        if v != target:
+            self.line(ind, f"{target} = {v}")
+
+    def eval_seq(self, exprs, ind: int) -> List[str]:
+        """Left-to-right evaluation of sibling expressions.  Volatile
+        reads are frozen unless they are the final evaluation — after
+        that point no user code runs before the values are consumed."""
+        out: List[str] = []
+        n = len(exprs)
+        for i, e in enumerate(exprs):
+            v, vol = self.compile_value(e, ind)
+            if vol and i < n - 1:
+                v = self.freeze(v, ind)
+            out.append(v)
+        return out
+
+    def emit_fuel_charge(self, ind: int) -> None:
+        self.uses_fuel = True
+        t = self.gensym()
+        self.line(ind, f"{t} = _F.left")
+        self.line(ind, f"if {t} >= 0:")
+        self.line(ind + 1, f"if {t} == 0:")
+        self.line(ind + 2, "raise _FuelEx(_F.limit)")
+        self.line(ind + 1, f"_F.left = {t} - 1")
+
+    def prim_dispatch(self, h: str, args: List[str], loc: str, ind: int,
+                      tail: bool, sname: Optional[str] = None
+                      ) -> Optional[str]:
+        """The inline primitive branch of an application.  Returns the
+        result temp for non-tail sites (the else-branch filled in by the
+        caller); emits a ``return`` for tail sites.
+
+        When the head is a global statically naming an inlinable
+        primitive, an identity-guarded fast path is emitted first:
+        ``if {h} is <that prim>`` the call compiles to a direct Python
+        expression (no argument list, no generic dispatch); the guard
+        makes rebinding safe and the expression delegates to the
+        primitive outside its fast case, so observables never change.
+        ``args`` is frozen in place when a fast path fires — callers
+        build their fallback argument lists after this returns."""
+        n = len(args)
+        target: Optional[str] = None
+        opened = False
+        gen = _INLINE_PRIMS.get(sname) if sname is not None else None
+        if gen is not None:
+            frozen = [self.freeze(a, ind) for a in args]
+            expr = gen(h, frozen)
+            if expr is not None:
+                args[:] = frozen
+                self.line(ind,
+                          f"if {h} is {self.const(_PRIM_BY_SNAME[sname])}:")
+                if tail:
+                    if self.is_gen:
+                        self.line(ind + 1, f"yield {expr}")
+                        self.line(ind + 1, "return")
+                    else:
+                        self.line(ind + 1, f"return {expr}")
+                else:
+                    target = self.gensym()
+                    self.line(ind + 1, f"{target} = {expr}")
+                opened = True
+        arglist = ", ".join(args)
+        branch = "elif" if opened else "if"
+        self.line(ind, f"{branch} type({h}) is _Prim:")
+        self.line(ind + 1,
+                  f"if {n} < {h}.arity_min or ({h}.arity_max is not None"
+                  f" and {n} > {h}.arity_max):")
+        self.line(ind + 2,
+                  f"raise _SErr({h}.name + "
+                  f"': arity mismatch with {n} arguments', {loc})")
+        if tail:
+            if self.is_gen:
+                self.line(ind + 1, f"yield {h}.fn([{arglist}])")
+                self.line(ind + 1, "return")
+            else:
+                self.line(ind + 1, f"return {h}.fn([{arglist}])")
+            return None
+        if target is None:
+            target = self.gensym()
+        self.line(ind + 1, f"{target} = {h}.fn([{arglist}])")
+        return target
+
+    def value_app(self, e, ind: int) -> str:
+        vals = self.eval_seq(e.exprs, ind)
+        h = self.freeze(vals[0], ind)
+        args = vals[1:]
+        loc = self.cref(e.loc)
+        head = e.exprs[0]
+        sname = head.sname if head.tag == T_GLOBAL else None
+        t = self.prim_dispatch(h, args, loc, ind, tail=False, sname=sname)
+        arglist = ", ".join(["None"] + args)
+        self.line(ind, "else:")
+        if self.is_gen:
+            # Depth-bounded direct dispatch: re-entering the driver costs
+            # one Python call instead of a suspend/resume round-trip;
+            # past the bound, suspend as usual so stack use stays flat.
+            self.uses_rt = True
+            self.line(ind + 1, f"if _rt.d < {_DIRECT_DEPTH}:")
+            self.line(ind + 2, "_rt.d += 1")
+            self.line(ind + 2,
+                      f"{t} = _rt._drive({h}, [{arglist}], {loc})")
+            self.line(ind + 2, "_rt.d -= 1")
+            self.line(ind + 1, "else:")
+            self.line(ind + 2,
+                      f"{t} = yield _Call({h}, [{arglist}], {loc}, False)")
+        else:
+            self.uses_rt = True
+            self.line(ind + 1, f"{t} = _rt.fallback({h}, [{arglist}], {loc})")
+        return t
+
+    def tail_app(self, e, ind: int) -> None:
+        vals = self.eval_seq(e.exprs, ind)
+        h = self.freeze(vals[0], ind)
+        args = vals[1:]
+        loc = self.cref(e.loc)
+        head = e.exprs[0]
+        if (len(args) == self.clam.nparams
+                and head.tag in (T_LOCAL, T_GLOBAL)):
+            # Compiled self-tail loop: when the callee is this very
+            # closure, rebind and jump — the fuel charge keeps the
+            # back-edge metered like any other application.
+            self.line(ind, f"if {h} is _c:")
+            self.emit_fuel_charge(ind + 1)
+            if self.frame_mode:
+                inner = ", ".join([self.env_chain(0)] + args)
+                self.line(ind + 1, f"_f = [{inner}]")
+            elif args:
+                params = ", ".join(f"_p{i}" for i in range(len(args)))
+                self.line(ind + 1, f"{params} = {', '.join(args)}"
+                          if len(args) > 1 else f"{params} = {args[0]}")
+            self.line(ind + 1, "continue")
+        sname = head.sname if head.tag == T_GLOBAL else None
+        self.prim_dispatch(h, args, loc, ind, tail=True, sname=sname)
+        # Depth-bounded direct tail call: an eligible plain native callee
+        # with a matching arity is invoked on the Python stack (its
+        # result — a value or the next _Call request — propagates through
+        # our own return, preserving the tail protocol).  Everything this
+        # guard cannot prove falls through to the trampoline request,
+        # where the driver re-checks with full generality.
+        self.uses_rt = True
+        self.uses_direct = True
+        lam = self.gensym()
+        fcall = ", ".join([f"{h}.env"] + args)
+        self.line(ind, f"if type({h}) is _Closure:")
+        self.line(ind + 1, f"{lam} = {h}.lam")
+        self.line(ind + 1,
+                  f"if {lam}.native is not None and "
+                  f"{lam}.native_is_gen is False and "
+                  f"{lam}.nparams == {len(args)} and "
+                  f"_rt.d < {_DIRECT_DEPTH} and "
+                  f"(not _M or {lam}.discharged or "
+                  f"(_K is not None and {lam}.label in _K)):")
+        self.emit_fuel_charge(ind + 2)
+        self.line(ind + 2, "_rt.d += 1")
+        rt = self.gensym()
+        self.line(ind + 2, f"{rt} = {lam}.native({h}, [{fcall}], _rt)")
+        self.line(ind + 2, "_rt.d -= 1")
+        if self.is_gen:
+            self.line(ind + 2, f"yield {rt}")
+            self.line(ind + 2, "return")
+        else:
+            self.line(ind + 2, f"return {rt}")
+        arglist = ", ".join(["None"] + args)
+        if self.is_gen:
+            self.line(ind, f"yield _Call({h}, [{arglist}], {loc}, True)")
+            self.line(ind, "return")
+        else:
+            self.line(ind, f"return _Call({h}, [{arglist}], {loc})")
+
+    def emit_let(self, e, ind: int) -> None:
+        """Evaluate rhss in the current scope, then push the new rib
+        (parallel let: nothing binds until everything evaluated)."""
+        vals: List[str] = []
+        n = len(e.rhss)
+        for i, rhs in enumerate(e.rhss):
+            v, vol = self.compile_value(rhs, ind)
+            if vol and (self.frame_mode is False or i < n - 1):
+                # Locals mode: the binding var doubles as storage, so
+                # every volatile read freezes; frame mode materializes
+                # into the frame list immediately after the last rhs.
+                v = self.freeze(v, ind)
+            vals.append(v)
+        if self.frame_mode:
+            parent = self.ribs[-1].var
+            fv = self.gensym()
+            self.line(ind, f"{fv} = [{', '.join([parent] + vals)}]")
+            self.ribs.append(_Rib("frame", var=fv))
+        else:
+            slots: List[str] = []
+            for v in vals:
+                if v.isidentifier() and v.startswith("_t"):
+                    slots.append(v)  # the freeze temp is the slot
+                else:
+                    s = self.gensym()
+                    self.line(ind, f"{s} = {v}")
+                    slots.append(s)
+            self.ribs.append(_Rib("locals", slots=slots))
+
+    def emit_letrec(self, e, ind: int) -> None:
+        """letrec*: undefined-marker slots first, rhss back-patch their
+        slot in order; reads from the rib during initialization carry
+        the used-before-initialization check (``checking``)."""
+        names = e.names
+        if self.frame_mode:
+            parent = self.ribs[-1].var
+            fv = self.gensym()
+            init = ", ".join([parent] + ["_UNDEF"] * e.nslots)
+            self.line(ind, f"{fv} = [{init}]")
+            rib = _Rib("frame", var=fv, checking=True)
+            self.ribs.append(rib)
+            for i, rhs in enumerate(e.rhss):
+                v, _ = self.compile_value(rhs, ind)
+                t = self.freeze(v, ind)
+                self.line(ind, f"if type({t}) is _Closure "
+                               f"and {t}.name is None:")
+                self.line(ind + 1, f"{t}.name = {names[i].name!r}")
+                self.line(ind, f"{fv}[{i + 1}] = {t}")
+        else:
+            slots = [self.gensym() for _ in range(e.nslots)]
+            for s in slots:
+                self.line(ind, f"{s} = _UNDEF")
+            rib = _Rib("locals", slots=slots, checking=True)
+            self.ribs.append(rib)
+            for i, rhs in enumerate(e.rhss):
+                v, _ = self.compile_value(rhs, ind)
+                t = self.freeze(v, ind)
+                self.line(ind, f"if type({t}) is _Closure "
+                               f"and {t}.name is None:")
+                self.line(ind + 1, f"{t}.name = {names[i].name!r}")
+                if t != slots[i]:
+                    self.line(ind, f"{slots[i]} = {t}")
+        rib.checking = False
+
+    def compile_tail(self, e, ind: int) -> None:
+        """Emit the statements that end the function for ``e`` in tail
+        position."""
+        t = e.tag
+        if t == T_APP:
+            self.tail_app(e, ind)
+            return
+        if t == T_IF:
+            test, _ = self.compile_value(e.test, ind)
+            self.line(ind, f"if {test} is not False:")
+            self.compile_tail(e.then, ind + 1)
+            self.line(ind, "else:")
+            self.compile_tail(e.els, ind + 1)
+            return
+        if t == T_BEGIN:
+            for sub in e.body[:-1]:
+                self.compile_value(sub, ind)
+            self.compile_tail(e.body[-1], ind)
+            return
+        if t == T_LET:
+            self.emit_let(e, ind)
+            self.compile_tail(e.body, ind)
+            self.ribs.pop()
+            return
+        if t == T_LETREC:
+            self.emit_letrec(e, ind)
+            self.compile_tail(e.body, ind)
+            self.ribs.pop()
+            return
+        v, _ = self.compile_value(e, ind)
+        if self.is_gen:
+            self.line(ind, f"yield {v}")
+            self.line(ind, "return")
+        else:
+            self.line(ind, f"return {v}")
+
+
+def _compile_lam(clam) -> None:
+    """Attach native code to one CLam (best-effort: any emitter or
+    CPython-compile failure leaves the λ interpreted)."""
+    if clam.native_is_gen is not None:
+        return  # already attempted
+    try:
+        frame_mode = _contains_lam(clam.body)
+        is_gen = _has_risky_nontail(clam.body)
+        em = _Emitter(clam, is_gen, frame_mode)
+        if frame_mode:
+            em.ribs.append(_Rib("frame", var="_f"))
+        else:
+            slots = [f"_p{i}" for i in range(clam.nparams)]
+            em.ribs.append(_Rib("locals", slots=slots))
+        em.compile_tail(clam.body, 2)
+        prologue = ["def _nf(_c, _f, _rt):"]
+        if em.uses_consts:
+            prologue.append("    _C = _consts")
+        if em.uses_gget:
+            prologue.append("    _G = _rt.gget")
+        if em.uses_fuel:
+            prologue.append("    _F = _rt.fuel")
+        if em.uses_direct:
+            prologue.append("    _M = _rt.monitored")
+            prologue.append("    _K = _rt.skips")
+        if em.uses_env:
+            prologue.append("    _e = _f[0]")
+        if not frame_mode:
+            for i in range(clam.nparams):
+                prologue.append(f"    _p{i} = _f[{i + 1}]")
+        prologue.append("    while True:")
+        src = "\n".join(prologue + em.lines) + "\n"
+        if len(src) > _MAX_SOURCE:
+            raise _Unsupported("body too large")
+        ns = {
+            "_consts": tuple(em.consts),
+            "_Call": _Call,
+            "_SErr": SchemeError,
+            "_FuelEx": FuelExhausted,
+            "_Prim": Prim,
+            "_Closure": Closure,
+            "_TermW": TermWrapped,
+            "_UNDEF": _machine_undef(),
+            "_VOID": VOID,
+            "_Pair": Pair,
+            "_NIL": NIL,
+            "_Char": Char,
+        }
+        code_obj = compile(
+            src, f"<native:{clam.name or f'λ{clam.label}'}>", "exec")
+        exec(code_obj, ns)
+        clam.native = ns["_nf"]
+        clam.native_is_gen = is_gen
+    except Exception:
+        clam.native = None
+        clam.native_is_gen = False
+
+
+def _machine_undef():
+    from repro.eval.machine import _UNDEF
+
+    return _UNDEF
+
+
+def ensure_native(code) -> None:
+    """Walk a resolved tree and compile every λ that has not been
+    attempted yet.  Idempotent and cheap on revisits (the attempt mark
+    lives on the CLam, which the code cache keeps per policy)."""
+    stack = [code]
+    while stack:
+        node = stack.pop()
+        t = node.tag
+        if t == T_LAM:
+            if node.native_is_gen is None:
+                _compile_lam(node)
+            stack.append(node.body)
+        elif t == T_APP:
+            stack.extend(node.exprs)
+        elif t == T_IF:
+            stack.append(node.test)
+            stack.append(node.then)
+            stack.append(node.els)
+        elif t == T_BEGIN:
+            stack.extend(node.body)
+        elif t == T_LET or t == T_LETREC:
+            stack.extend(node.rhss)
+            stack.append(node.body)
+        elif t == T_SETLOCAL or t == T_SETGLOBAL or t == T_TERMC:
+            stack.append(node.expr)
+
+
+_LIBRARIES_DONE = False
+
+
+def ensure_native_libraries() -> None:
+    """Compile native code for the prelude and contract libraries, once
+    per process.  Their closures were resolved without any policy
+    (``skip_labels=None``) during ``make_env``, so this touches exactly
+    the CLam objects those library closures carry — a run whose policy
+    covers a prelude λ (by label, via the monitor's skip set) then runs
+    it natively."""
+    global _LIBRARIES_DONE
+    if _LIBRARIES_DONE:
+        return
+    from repro.eval.machine import _contracts_program, _prelude_program, \
+        compile_code
+
+    for library in (_prelude_program(), _contracts_program()):
+        for form in library.forms:
+            ensure_native(compile_code(form.expr))
+    _LIBRARIES_DONE = True

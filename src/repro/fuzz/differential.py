@@ -1,18 +1,23 @@
-"""The 12-cell differential runner and its oracle.
+"""The 18-cell differential runner and its oracle.
 
 One generated (or corpus, or regression) program runs under every cell of
 
-    {tree, compiled} × {bitmask, reference} × {off, monitored, discharged}
+    {tree, compiled, native} × {bitmask, reference}
+                             × {off, monitored, discharged}
 
 with a fuel bound, plus a two-engine static verdict and one residual-
 enforcement pipeline run.  The oracle then checks:
 
 * **intra-group byte identity** — within each policy group (off /
-  monitored / discharged) all four machine × engine cells must agree on
+  monitored / discharged) all six machine × engine cells must agree on
   the answer kind, the printed value, the captured output, the rendered
-  ``SizeChangeViolation`` payload, and the run-time error text;
+  ``SizeChangeViolation`` payload, and the run-time error text; a
+  mismatch whose offending pair involves a native cell is classed
+  ``native-fallback-mismatch`` (the compiled tier or its interpreter
+  fallback boundary broke the contract), any other pair stays the
+  historical ``cell-mismatch``;
 * **cross-group consistency** — terminating programs are monitor-silent
-  by construction, so all twelve cells must be byte-identical and be
+  by construction, so all eighteen cells must be byte-identical and be
   values; diverging programs must exhaust fuel under ``off`` and must be
   stopped (violation or fuel) under ``monitored``/``discharged``;
 * **verifier-verdict consistency** — the bitmask and reference engines
@@ -41,14 +46,14 @@ from repro.sct.monitor import SCMonitor
 from repro.symbolic import verify_source
 from repro.values.values import write_value
 
-MACHINES = ("tree", "compiled")
+MACHINES = ("tree", "compiled", "native")
 ENGINES = ("bitmask", "reference")
 POLICIES = ("off", "monitored", "discharged")
 
 
 def default_cells(matrix: str = "full") -> List[Tuple[str, str, str]]:
-    """The cell list for a matrix spec: ``full`` (all 12), ``quick``
-    (4 cells covering both machines, both engines and all policies), or
+    """The cell list for a matrix spec: ``full`` (all 18), ``quick``
+    (6 cells covering all machines, both engines and all policies), or
     an explicit comma list of ``machine:engine:policy`` triples."""
     if matrix == "full":
         return [(m, e, p) for m in MACHINES for e in ENGINES
@@ -56,9 +61,11 @@ def default_cells(matrix: str = "full") -> List[Tuple[str, str, str]]:
     if matrix == "quick":
         return [
             ("compiled", "bitmask", "off"),
+            ("native", "bitmask", "off"),
             ("tree", "bitmask", "monitored"),
             ("compiled", "reference", "monitored"),
-            ("compiled", "bitmask", "discharged"),
+            ("native", "bitmask", "monitored"),
+            ("native", "bitmask", "discharged"),
         ]
     cells = []
     for spec in matrix.split(","):
@@ -232,7 +239,12 @@ def _apply_oracle(program: GenProgram, results: Sequence[CellResult],
                   discharge_complete: Optional[bool]) -> List[Divergence]:
     out: List[Divergence] = []
 
-    # 1. Intra-group byte identity.
+    # 1. Intra-group byte identity.  The cell order puts the reference
+    # machines (tree, compiled) before native, so a pair that disagrees
+    # without involving native keeps the historical ``cell-mismatch``
+    # class; a pair where a native cell breaks identity is classed
+    # ``native-fallback-mismatch`` — the compiler or its interpreter
+    # fallback boundary changed an observable.
     for policy in POLICIES:
         group = _group(results, policy)
         if len(group) < 2:
@@ -240,8 +252,10 @@ def _apply_oracle(program: GenProgram, results: Sequence[CellResult],
         ref = group[0]
         for other in group[1:]:
             if other.signature() != ref.signature():
+                native_pair = "native" in (ref.cell[0], other.cell[0])
                 out.append(Divergence(
-                    "cell-mismatch",
+                    "native-fallback-mismatch" if native_pair
+                    else "cell-mismatch",
                     f"{':'.join(ref.cell)} vs {':'.join(other.cell)} "
                     f"disagree under {policy}",
                     program, [ref, other]))

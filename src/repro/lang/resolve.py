@@ -127,10 +127,19 @@ class CLam(Code):
     construction).  Compiled code is cached per policy
     (:func:`repro.eval.machine.compile_code`), so the mark never leaks
     into runs with a different policy.
+
+    ``native``/``native_is_gen`` belong to the native tier
+    (:mod:`repro.eval.native`): ``native`` holds the exec-generated
+    Python function for this λ's body (None = not compiled, or
+    unsupported), ``native_is_gen`` records whether it is a generator
+    function (``None`` = compilation not yet attempted).  Because the
+    marks live on the per-policy CLam, native code inherits the same
+    no-policy-leak guarantee as ``discharged``.
     """
 
     __slots__ = ("params", "nparams", "frame_size", "body", "name", "label",
-                 "loc", "free", "env_names", "discharged")
+                 "loc", "free", "env_names", "discharged", "native",
+                 "native_is_gen")
     tag = T_LAM
 
     def __init__(self, params: Tuple[Symbol, ...], body: Code,
@@ -148,6 +157,8 @@ class CLam(Code):
         self.free = free
         self.env_names = env_names
         self.discharged = discharged
+        self.native = None
+        self.native_is_gen = None
 
     def __repr__(self) -> str:
         shown = self.name or f"λ{self.label}"

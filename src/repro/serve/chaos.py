@@ -166,7 +166,7 @@ def _direct_oracle(programs: List[str]) -> Dict[str, dict]:
         parsed = parse_program(text)
         result = discharge_for_run(parsed, text=text, cache=cache)
         answer = run_program(parsed, mode="contract", monitor=SCMonitor(),
-                             fuel=FUEL, machine="compiled",
+                             fuel=FUEL, machine="native",
                              discharge=result.policy)
         oracle[text] = {
             "kind": answer.kind,

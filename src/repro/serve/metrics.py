@@ -12,7 +12,7 @@ from __future__ import annotations
 
 import time
 from collections import deque
-from typing import Deque, Dict
+from typing import Deque, Dict, Optional
 
 
 def percentile(samples, q: float) -> float:
@@ -33,6 +33,7 @@ class Metrics:
         self.cache_hits = 0
         self.cache_misses = 0
         self.cache_rejected = 0
+        self.tiers: Dict[str, int] = {}        # executing tier → run count
         self.batches = 0
         self.batched_requests = 0
         self.max_batch = 0
@@ -77,6 +78,14 @@ class Metrics:
         self.cache_misses += misses
         self.cache_rejected += rejected
 
+    def record_tier(self, tier: Optional[str]) -> None:
+        """Count which execution tier (``native``/``compiled``/``tree``)
+        actually ran a ``run`` job — the warm-path signal for
+        ``BENCH_serve.json``: discharged repeat traffic should show up
+        here as ``native``."""
+        if tier:
+            self.tiers[tier] = self.tiers.get(tier, 0) + 1
+
     # -- reporting ----------------------------------------------------------
 
     def snapshot(self) -> dict:
@@ -102,6 +111,7 @@ class Metrics:
                 "hit_rate": round(self.cache_hits / lookups, 4)
                 if lookups else 0.0,
             },
+            "tiers": dict(sorted(self.tiers.items())),
             "batches": {
                 "dispatched": self.batches,
                 "requests": self.batched_requests,

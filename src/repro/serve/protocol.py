@@ -137,8 +137,9 @@ def request_key(job: dict) -> str:
 
     Same discipline as :meth:`repro.analysis.discharge.VerificationCache.
     key`: the digest covers everything the answer depends on — program
-    text, the shared library sources, and every execution knob (op, mode,
-    discharge, evidence, effective fuel, explicit entry/kinds) — and
+    text, the shared library sources, and every execution knob (op,
+    machine, mode, discharge, evidence, effective fuel, explicit
+    entry/kinds) — and
     nothing it does not (tenant, request id).  Two requests with equal
     keys are satisfied by one execution.
     """
@@ -149,6 +150,7 @@ def request_key(job: dict) -> str:
             hashlib.sha256(job["program"].encode()).hexdigest(),
         "libraries_sha256": _libraries_digest(),
         "op": job["op"],
+        "machine": job.get("machine"),
         "mode": job.get("mode"),
         "discharge": job.get("discharge"),
         "mc": bool(job.get("mc")),

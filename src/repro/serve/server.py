@@ -305,6 +305,7 @@ class SizedServer:
             "op": request["op"],
             "program": program,
             "fuel": effective_fuel,
+            "machine": request.get("machine", "native"),
             "mode": request.get("mode", "contract"),
             "discharge": request.get("discharge", "try"),
             "mc": bool(request.get("mc")),
@@ -318,6 +319,11 @@ class SizedServer:
             return protocol.error_response(
                 rid, protocol.E_BAD_REQUEST,
                 "mode must be off|contract|full, discharge off|try")
+        if job["machine"] not in ("native", "compiled", "tree"):
+            self.budgets.settle(tenant, effective_fuel, 0)
+            return protocol.error_response(
+                rid, protocol.E_BAD_REQUEST,
+                "machine must be native|compiled|tree")
         key = protocol.request_key(job)
 
         # -- admission control: shed rather than queue without bound.
@@ -366,6 +372,7 @@ class SizedServer:
             self.metrics.record_cache(cache.get("hits", 0),
                                       cache.get("misses", 0),
                                       cache.get("rejected", 0))
+            self.metrics.record_tier(result.get("tier"))
         response = dict(result)
         response["id"] = rid
         response["tenant"] = tenant

@@ -33,13 +33,21 @@ def worker_init(cache_dir: Optional[str], shard_depth: int,
     """Process-pool initializer: pay import/prelude/verifier-warmup cost
     once per worker, not once per request."""
     from repro.analysis.discharge import VerificationCache
+    from repro.ds.lru import LRU
     from repro.eval.machine import make_env
 
     _STATE["worker_id"] = worker_id
     _STATE["cache"] = VerificationCache(cache_dir,
                                         shard_depth=shard_depth if cache_dir
                                         else 0)
-    _STATE["env"] = make_env(True, machine="compiled")
+    # The native tier shares the compiled closure representation, so one
+    # warm environment serves every machine a job may ask for.
+    _STATE["env"] = make_env(True, machine="native")
+    # Content-addressed program cache, next to the certificate cache: a
+    # repeat request re-uses the parsed AST, so its compiled Code *and*
+    # the native closures hanging off each CLam stay warm across
+    # requests instead of being rebuilt per job.
+    _STATE["programs"] = LRU(64)
 
 
 def worker_job(job: dict) -> dict:
@@ -94,14 +102,28 @@ def _crash_job(job: dict) -> dict:
 
 
 def _parse(job: dict):
+    import hashlib
+
     from repro.lang.parser import parse_program
 
+    text = job["program"]
+    source = job.get("source", "<serve>")
+    programs = _STATE.get("programs")
+    key = None
+    if programs is not None:
+        key = hashlib.sha256(
+            f"{source}\x00{text}".encode("utf-8", "replace")).hexdigest()
+        cached = programs.get(key)
+        if cached is not None:
+            return cached, None
     try:
-        return parse_program(job["program"],
-                             source=job.get("source", "<serve>")), None
+        program = parse_program(text, source=source)
     except Exception as exc:
         return None, {"ok": False, "error": {
             "type": "bad-request", "message": f"parse error: {exc}"}}
+    if programs is not None:
+        programs.put(key, program)
+    return program, None
 
 
 def _discharge(program, text: str, mc: bool, cache):
@@ -119,11 +141,17 @@ def _discharge(program, text: str, mc: bool, cache):
 def _run_job(job: dict) -> dict:
     from repro.analysis.discharge import VerificationCache
     from repro.eval.errors import FuelExhausted
-    from repro.eval.machine import Answer, run_program
+    from repro.eval.machine import MACHINES, Answer, run_program
     from repro.sct.monitor import SCMonitor
     from repro.serve.protocol import EXIT_CODES
     from repro.values.values import write_value
 
+    machine = job.get("machine", "native")
+    if machine not in MACHINES:
+        return {"ok": False, "error": {
+            "type": "bad-request",
+            "message": f"unknown machine {machine!r} "
+                       f"(want one of {', '.join(MACHINES)})"}}
     program, err = _parse(job)
     if err is not None:
         return err
@@ -134,16 +162,20 @@ def _run_job(job: dict) -> dict:
     if job.get("discharge", "try") != "off":
         policy, discharge_info = _discharge(
             program, job["program"], bool(job.get("mc")), cache)
+    # The warm env is compiled-family (shared by native); a tree job
+    # needs its own env — rare enough to pay the prelude cost inline.
+    env = _STATE.get("env") if machine != "tree" else None
     answer = run_program(
         program, mode=job.get("mode", "contract"),
         monitor=SCMonitor(), fuel=job.get("fuel"),
-        machine="compiled", discharge=policy, env=_STATE.get("env"))
+        machine=machine, discharge=policy, env=env)
     response = {
         "ok": True,
         "kind": answer.kind,
         "exit": EXIT_CODES.get(answer.kind, 1),
         "steps": answer.steps,
         "output": answer.output,
+        "tier": answer.tier,
         "discharge": discharge_info,
         "cache": {"hits": cache.hits - hits0,
                   "misses": cache.misses - miss0,

@@ -57,12 +57,12 @@ class TestGenerator:
 
 
 class TestCells:
-    def test_full_is_twelve(self):
-        assert len(default_cells("full")) == 12
+    def test_full_is_eighteen(self):
+        assert len(default_cells("full")) == 18
 
     def test_quick_covers_axes(self):
         cells = default_cells("quick")
-        assert {c[0] for c in cells} == {"tree", "compiled"}
+        assert {c[0] for c in cells} == {"tree", "compiled", "native"}
         assert {c[1] for c in cells} == {"bitmask", "reference"}
         assert {c[2] for c in cells} == {"off", "monitored", "discharged"}
 

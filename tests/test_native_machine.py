@@ -1,0 +1,254 @@
+"""Differential suite: the native tier vs the compiled and tree machines.
+
+The native machine (exec-generated Python bodies for discharged λs,
+trampoline-driven, compiled-machine ``eval_code`` fallback for anything
+residual-monitored) must be *observably identical* to both other
+machines: same answer kind, same printed value, same output bytes, same
+violation witness, same error text — across the corpus, under no
+monitoring, full monitoring (where every λ falls back), and a residual
+policy (where proven λs run as native frames and the rest fall back in
+the same run).  Plus the native-only contracts: the fuel boundary
+(``fuel=0`` means no steps anywhere, exhaustion mid-native-frame is the
+ordinary ``FuelExhausted``) and proper tail calls via the trampoline far
+past CPython's recursion limit.
+"""
+
+import sys
+
+import pytest
+
+from repro.analysis.discharge import VerificationCache, discharge_for_run
+from repro.corpus import all_programs, diverging_programs
+from repro.eval import FuelExhausted
+from repro.eval.machine import Answer, run_program, run_source
+from repro.lang.parser import parse_program
+from repro.sct.monitor import SCMonitor
+from repro.values.values import write_value
+
+MACHINES = ("tree", "compiled", "native")
+PROGRAMS = all_programs()
+DIVERGING = diverging_programs()
+
+MAX_STEPS = 30_000_000
+
+
+def run_everywhere(program, *, mode, strategy="cm", measures=None,
+                   discharge=None, max_steps=MAX_STEPS, fuel=None):
+    # ``program`` is a *parsed* Program: λ labels are assigned at parse
+    # time, so a residual policy only matches the parse it was computed
+    # from — every machine must run the very same object.
+    if isinstance(program, str):
+        program = parse_program(program)
+    answers = {}
+    for machine in MACHINES:
+        answers[machine] = run_program(
+            program, mode=mode, strategy=strategy,
+            monitor=SCMonitor(measures=measures), max_steps=max_steps,
+            fuel=fuel, machine=machine, discharge=discharge,
+        )
+    return answers
+
+
+def assert_same_answer(reference, other):
+    assert other.kind == reference.kind, (
+        f"kind mismatch: {reference!r} vs {other!r}")
+    assert other.output == reference.output
+    if reference.kind == Answer.VALUE:
+        assert write_value(other.value) == write_value(reference.value)
+    if reference.kind == Answer.SC_ERROR:
+        rv, ov = reference.violation, other.violation
+        assert ov.function == rv.function
+        assert ov.blame == rv.blame
+        assert [write_value(a) for a in ov.prev_args] == \
+            [write_value(a) for a in rv.prev_args]
+        assert [write_value(a) for a in ov.new_args] == \
+            [write_value(a) for a in rv.new_args]
+        assert ov.composition == rv.composition
+    if reference.kind == Answer.RT_ERROR:
+        assert str(other.error) == str(reference.error)
+
+
+def assert_all_same(answers):
+    tree = answers["tree"]
+    for machine in ("compiled", "native"):
+        assert_same_answer(tree, answers[machine])
+
+
+def discharged(source, result_kinds=None):
+    parsed = parse_program(source)
+    result = discharge_for_run(parsed, text=source,
+                               result_kinds=result_kinds,
+                               cache=VerificationCache(None))
+    return parsed, result
+
+
+@pytest.mark.parametrize("mode", ["off", "full"])
+@pytest.mark.parametrize("prog", PROGRAMS, ids=[p.name for p in PROGRAMS])
+class TestCorpusDifferential:
+    """Byte-identity over the whole corpus.  ``off`` exercises pure
+    native execution (nothing is monitored, every compiled λ is
+    eligible); ``full`` without a policy exercises the all-fallback
+    path (every λ is residual-monitored)."""
+
+    def test_identical_answers(self, prog, mode):
+        answers = run_everywhere(prog.source, mode=mode,
+                                 measures=prog.measures)
+        assert answers["tree"].kind == Answer.VALUE
+        assert_all_same(answers)
+
+
+class TestDischargedCorpus:
+    """Byte-identity under residual policies — the tier-mixing runs the
+    native machine exists for."""
+
+    @pytest.mark.parametrize(
+        "prog", PROGRAMS, ids=[p.name for p in PROGRAMS])
+    def test_identical_answers_under_policy(self, prog):
+        parsed, result = discharged(prog.source, prog.result_kinds)
+        if result.policy is None:
+            pytest.skip("no residual policy for this program")
+        answers = run_everywhere(parsed, mode="full",
+                                 measures=prog.measures,
+                                 discharge=result.policy)
+        assert answers["tree"].kind == Answer.VALUE
+        assert_all_same(answers)
+
+
+@pytest.mark.parametrize("prog", DIVERGING, ids=[d.name for d in DIVERGING])
+class TestDivergingDifferential:
+    """Violation payloads are produced by the fallback (every λ is
+    monitored, nothing discharged) and must be witness-identical."""
+
+    def test_identical_violation(self, prog):
+        answers = run_everywhere(prog.source, mode="full",
+                                 measures=prog.measures,
+                                 max_steps=3_000_000)
+        assert answers["tree"].kind == Answer.SC_ERROR
+        assert_all_same(answers)
+
+
+class TestFallbackBoundary:
+    """One run mixing native frames (a proven λ) with monitored
+    fallback frames (an unproven diverging λ): the violation must cross
+    the boundary with an identical witness."""
+
+    SRC = ("(define (len l) (if (null? l) 0 (+ 1 (len (cdr l)))))\n"
+           "(define (up l) (up (cons 1 l)))\n"
+           "(len '(1 2 3))\n"
+           "(up '())\n")
+
+    def test_violation_identical_across_boundary(self):
+        parsed, result = discharged(self.SRC)
+        assert not result.complete          # up is unprovable
+        assert result.policy is not None
+        assert result.policy.skip_labels    # len is proven
+        answers = {}
+        monitors = {}
+        for machine in MACHINES:
+            monitors[machine] = SCMonitor()
+            answers[machine] = run_program(
+                parsed, mode="full", monitor=monitors[machine],
+                max_steps=3_000_000, machine=machine,
+                discharge=result.policy)
+        assert answers["tree"].kind == Answer.SC_ERROR
+        assert answers["tree"].violation.function == "up"
+        assert_all_same(answers)
+        # The native run really mixed tiers: native frames were entered
+        # (len) while the monitor still saw the unproven λ's calls (up).
+        assert answers["native"].tier == "native"
+        assert monitors["native"].calls_seen > 0
+        assert monitors["native"].calls_seen == monitors["tree"].calls_seen
+
+
+class TestFuelBoundary:
+    """The fuel contract on the native machine matches the other two:
+    0 means no steps run anywhere, and exhaustion mid-native-frame is
+    the ordinary distinct outcome."""
+
+    LOOP = "(define (spin n) (spin (+ n 1)))\n(spin 0)\n"
+    SUM = ("(define (sum n acc) (if (zero? n) acc (sum (- n 1) "
+           "(+ acc n))))\n(sum 100000 0)\n")
+
+    def test_fuel_zero_is_immediate_exhaustion(self):
+        a = run_source(self.LOOP, mode="off", fuel=0, machine="native")
+        assert a.kind == Answer.TIMEOUT
+        assert isinstance(a.error, FuelExhausted)
+        assert a.steps == 0
+
+    def test_exhaustion_mid_native_frame(self):
+        # Fully-discharged tight loop: the spinning frames are native
+        # when the budget runs dry.
+        parsed, result = discharged(self.SUM)
+        assert result.complete
+        a = run_program(parsed, mode="full", fuel=5_000,
+                        machine="native", discharge=result.policy)
+        assert a.kind == Answer.TIMEOUT
+        assert isinstance(a.error, FuelExhausted)
+        assert 0 < a.steps <= 5_000
+
+    def test_ample_fuel_returns_value(self):
+        parsed, result = discharged(self.SUM)
+        a = run_program(parsed, mode="full", fuel=10_000_000,
+                        machine="native", discharge=result.policy)
+        assert a.kind == Answer.VALUE
+        assert write_value(a.value) == "5000050000"
+
+
+class TestTrampoline:
+    """Proper tail calls and constant-stack non-tail returns far past
+    CPython's own recursion limit."""
+
+    def test_deep_non_tail_recursion(self):
+        n = 50_000
+        assert n > sys.getrecursionlimit()
+        src = ("(define (count n) (if (zero? n) 0 (+ 1 (count (- n 1)))))\n"
+               f"(count {n})\n")
+        a = run_source(src, mode="off", machine="native")
+        assert a.kind == Answer.VALUE
+        assert a.value == n
+
+    def test_deep_tail_recursion(self):
+        n = 200_000
+        src = ("(define (down n) (if (zero? n) 'done (down (- n 1))))\n"
+               f"(down {n})\n")
+        a = run_source(src, mode="off", machine="native")
+        assert a.kind == Answer.VALUE
+        assert write_value(a.value) == "done"
+
+    def test_deep_non_tail_under_residual_policy(self):
+        n = 20_000
+        assert n > sys.getrecursionlimit()
+        src = ("(define (count n) (if (zero? n) 0 (+ 1 (count (- n 1)))))\n"
+               f"(count {n})\n")
+        parsed, result = discharged(src)
+        assert result.complete
+        a = run_program(parsed, mode="full", machine="native",
+                        discharge=result.policy)
+        assert a.kind == Answer.VALUE
+        assert a.value == n
+
+
+class TestTierReporting:
+    """``Answer.tier`` names the tier that actually did the work."""
+
+    def test_unmonitored_run_reports_native(self):
+        # tier is "what ran a λ frame": a program with an actual
+        # application reports native; pure top-level arithmetic never
+        # enters a frame and honestly reports compiled.
+        src = "(define (f n) (if (zero? n) 1 (f (- n 1))))\n(f 5)\n"
+        a = run_source(src, mode="off", machine="native")
+        assert a.kind == Answer.VALUE and a.value == 1
+        assert a.tier == "native"
+
+    def test_all_fallback_run_reports_compiled(self):
+        # mode=full with no policy: nothing is discharged, so no native
+        # frame ever runs and the answer honestly says so.
+        src = "(define (f n) (if (zero? n) 1 (f (- n 1))))\n(f 5)\n"
+        a = run_source(src, mode="full", machine="native")
+        assert a.kind == Answer.VALUE and a.value == 1
+        assert a.tier == "compiled"
+
+    def test_other_machines_report_themselves(self):
+        for machine in ("tree", "compiled"):
+            a = run_source("(+ 1 2)", mode="off", machine=machine)
+            assert a.tier == machine

@@ -153,6 +153,42 @@ class TestDedupe:
         run(body())
 
 
+class TestNativeTier:
+    def test_discharged_repeat_traffic_runs_native(self):
+        """The warm path the native tier exists for: repeat traffic whose
+        termination checks fully discharge must execute native, and the
+        stats surface must count it."""
+        async def body():
+            async with serve() as (_, c):
+                for _ in range(3):
+                    r = await c.request({"op": "run", "program": QUICK})
+                    assert r["ok"] and r["value"] == "42"
+                    assert r["discharge"]["complete"] is True
+                    assert r["tier"] == "native"
+                stats = (await c.request({"op": "stats"}))["stats"]
+                assert stats["tiers"].get("native", 0) >= 3
+        run(body())
+
+    def test_machine_is_selectable_and_keyed(self):
+        async def body():
+            async with serve(batch_window_ms=25.0) as (_, c):
+                a, b = await asyncio.gather(
+                    c.request({"op": "run", "program": QUICK,
+                               "machine": "compiled"}),
+                    c.request({"op": "run", "program": QUICK,
+                               "machine": "native"}))
+                assert a["ok"] and a["tier"] == "compiled"
+                assert b["ok"] and b["tier"] == "native"
+                # different machines must never coalesce into one batch
+                assert a["key"] != b["key"]
+                assert a["value"] == b["value"] == "42"
+                bad = await c.request({"op": "run", "program": QUICK,
+                                       "machine": "warp"})
+                assert bad["ok"] is False
+                assert bad["error"]["type"] == "bad-request"
+        run(body())
+
+
 class TestFaultInjection:
     def test_crash_requires_opt_in(self):
         async def body():
