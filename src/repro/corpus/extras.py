@@ -148,3 +148,34 @@ register_conservative(CorpusProgram(
           "max(x, 0) repairs it — see tests.",
     tags=("conservative", "order"),
 ))
+
+register_extra(CorpusProgram(
+    name="set-order",
+    source="""
+(define (order-sum n acc)
+  (if (zero? n)
+      acc
+      (order-sum (- n 1)
+                 (+ acc (let ((m n)) (+ m (begin (set! m 1) m)))))))
+(define (alias-sum n)
+  (if (zero? n)
+      0
+      (+ (letrec ((a n))
+           (let ((y a))
+             (begin (set! y (* y 10)) (+ a y))))
+         (alias-sum (- n 1)))))
+(+ (order-sum 10 0) (alias-sum 5))
+""",
+    expected="230",
+    paper=("", "", "", "", ""),
+    ours_static=True,
+    entry=("order-sum", ["nat", "nat"]),
+    notes="set! evaluation-order and binding-aliasing probes inside "
+          "statically provable loops: order-sum's left operand must be "
+          "read before the sibling argument's set! fires, and alias-sum's "
+          "let binding must get storage distinct from the letrec slot it "
+          "was initialized from.  Pure programs cannot tell these apart; "
+          "a compiling tier that copies too little answers differently "
+          "(the PR 9 review repros).",
+    tags=("extra", "mutation"),
+))

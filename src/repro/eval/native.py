@@ -521,6 +521,12 @@ class _Emitter:
         self.uses_env = False
         self.uses_direct = False
         self.ribs: List[_Rib] = []
+        # Every Python local that serves as a mutable storage slot in
+        # locals mode (``_pN`` parameters, let/letrec slot temps).  A
+        # read of one of these is only a *name* for the slot — freeze()
+        # must copy it before any further user code can set! the slot,
+        # and emit_let must never adopt one as a new binding's storage.
+        self.mutable_slots: set = set()
 
     # -- infrastructure ---------------------------------------------------------
 
@@ -560,7 +566,13 @@ class _Emitter:
         return self.const(value)
 
     def freeze(self, expr: str, ind: int) -> str:
-        if expr.isidentifier():
+        """Materialize ``expr`` under a name later statements cannot
+        disturb.  Identifiers are reused as-is *unless* they name a
+        mutable storage slot — those are just aliases of the slot, so a
+        sibling ``set!`` evaluated afterwards would clobber the value
+        read here; they get copied into a fresh temp like any other
+        volatile expression."""
+        if expr.isidentifier() and expr not in self.mutable_slots:
             return expr
         t = self.gensym()
         self.line(ind, f"{t} = {expr}")
@@ -850,8 +862,10 @@ class _Emitter:
         """Evaluate rhss in the current scope, then push the new rib
         (parallel let: nothing binds until everything evaluated)."""
         vals: List[str] = []
+        marks: List[int] = []
         n = len(e.rhss)
         for i, rhs in enumerate(e.rhss):
+            mark = self.ntmp
             v, vol = self.compile_value(rhs, ind)
             if vol and (self.frame_mode is False or i < n - 1):
                 # Locals mode: the binding var doubles as storage, so
@@ -859,6 +873,7 @@ class _Emitter:
                 # into the frame list immediately after the last rhs.
                 v = self.freeze(v, ind)
             vals.append(v)
+            marks.append(mark)
         if self.frame_mode:
             parent = self.ribs[-1].var
             fv = self.gensym()
@@ -866,14 +881,27 @@ class _Emitter:
             self.ribs.append(_Rib("frame", var=fv))
         else:
             slots: List[str] = []
-            for v in vals:
-                if v.isidentifier() and v.startswith("_t"):
-                    slots.append(v)  # the freeze temp is the slot
+            for v, mark in zip(vals, marks):
+                if self._fresh_temp(v, mark):
+                    slots.append(v)  # this rhs's own temp is the slot
                 else:
                     s = self.gensym()
                     self.line(ind, f"{s} = {v}")
                     slots.append(s)
+            self.mutable_slots.update(slots)
             self.ribs.append(_Rib("locals", slots=slots))
+
+    def _fresh_temp(self, v: str, mark: int) -> bool:
+        """True iff ``v`` is a temp minted after ``mark`` — i.e. created
+        while compiling the expression the mark was taken before, so
+        nothing outside that expression can reference it and it is safe
+        to adopt as a binding's storage slot.  An older ``_tN`` (one
+        code outside this rhs may still reference, e.g. an enclosing
+        binding's slot) must get fresh storage instead — adopting it
+        would alias the new binding onto the outer one."""
+        if not (v.startswith("_t") and v[2:].isdigit()):
+            return False
+        return int(v[2:]) > mark
 
     def emit_letrec(self, e, ind: int) -> None:
         """letrec*: undefined-marker slots first, rhss back-patch their
@@ -896,6 +924,7 @@ class _Emitter:
                 self.line(ind, f"{fv}[{i + 1}] = {t}")
         else:
             slots = [self.gensym() for _ in range(e.nslots)]
+            self.mutable_slots.update(slots)
             for s in slots:
                 self.line(ind, f"{s} = _UNDEF")
             rib = _Rib("locals", slots=slots, checking=True)
@@ -960,6 +989,7 @@ def _compile_lam(clam) -> None:
             em.ribs.append(_Rib("frame", var="_f"))
         else:
             slots = [f"_p{i}" for i in range(clam.nparams)]
+            em.mutable_slots.update(slots)
             em.ribs.append(_Rib("locals", slots=slots))
         em.compile_tail(clam.body, 2)
         prologue = ["def _nf(_c, _f, _rt):"]

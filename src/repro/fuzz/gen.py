@@ -38,8 +38,15 @@ behaviour of every configuration cell computable *at generation time*:
 
 Feature knobs (``features=`` a set of names, see :data:`ALL_FEATURES`)
 mix in accumulators, higher-order parameters and prelude combinators,
-``terminating/c`` wraps, boxes, vectors, promises (``delay``/``force``)
-and ``display`` output.  Each program records which features it used and
+``terminating/c`` wraps, boxes, vectors, promises (``delay``/``force``),
+``display`` output, and ``set!`` mutation of let/letrec locals
+(sequenced updates, sibling-argument effects that pin left-to-right
+evaluation order, and binding-aliasing probes — the observables a
+compiling tier can get wrong while every pure program still agrees).
+Mutation never touches a parameter or any name a descent argument
+references, so it is invisible to the termination story: the engines
+havoc reads of ``set!``-assigned names, which only matters in a cycle's
+descent position, and the monitor's graphs track calls, not stores.  Each program records which features it used and
 the derived oracle flags:
 
 * ``must_verify`` — both static engines must answer VERIFIED (all
@@ -63,6 +70,8 @@ ALL_FEATURES = (
     "vectors",        # vector literals, vector-ref/length/->list
     "promises",       # delay / force
     "output",         # display / newline in bodies
+    "mutation",       # set! on let/letrec locals: sequencing, sibling-
+                      # argument effects, binding-aliasing probes
 )
 
 # Features whose presence keeps the entry from fully discharging: an
@@ -152,6 +161,7 @@ class _Gen:
         self.fns: List[_Fn] = []
         self.entry: _Fn = None  # type: ignore[assignment]
         self.entry_arg_kinds: List[str] = []
+        self.nmut = 0  # unique-name counter for mutation locals
         # Fuel for the differential run: generous for terminating
         # programs (two-branch recursion on small inputs stays far
         # below this), small for diverging ones (the `off` cells only
@@ -224,6 +234,8 @@ class _Gen:
             if k == FUN:
                 opts.append(f"({p} {rng.randint(0, 5)})")
         choice = rng.choice(opts)
+        if self.use("mutation"):
+            choice = self._mutate_nat(choice)
         if self.use("output"):
             return f"(begin (display {choice}) (newline) {choice})"
         return choice
@@ -274,6 +286,8 @@ class _Gen:
             elif k == LIST:
                 opts.append(f"(length {p})")
         base = rng.choice(opts)
+        if self.use("mutation"):
+            return self._mutate_nat(base)
         if self.use("vectors"):
             vec = f"(vector {rng.randint(0, 4)} {rng.randint(0, 4)} {base})"
             return f"(vector-ref {vec} 2)"
@@ -300,6 +314,34 @@ class _Gen:
         if self.use("vectors"):
             return f"(vector->list (list->vector {base}))"
         return base
+
+    def _mutate_nat(self, base: str) -> str:
+        """Wrap a nat expression in a ``set!`` shape over fresh locals.
+        Every shape still yields a nat and never references a parameter,
+        so kinds, descent and the monitor's graphs are untouched — but
+        the *value* depends on left-to-right sibling evaluation order
+        and on each binding getting its own storage, which is exactly
+        where a compiling tier can silently diverge."""
+        rng = self.rng
+        k = self.nmut
+        self.nmut += 1
+        m, w = f"m{k}", f"w{k}"
+        c = rng.randint(1, 9)
+        shapes = [
+            # Sequenced update, then read.
+            f"(let (({m} {base})) (begin (set! {m} (+ {m} {c})) {m}))",
+            # Sibling-argument effect: the left read must happen before
+            # the right argument's set! clobbers the slot.
+            f"(let (({m} {base})) (+ {m} (begin (set! {m} {c}) {m})))",
+            # Aliasing probe: the inner let binding must get its own
+            # storage — set! on it must not leak into the letrec slot.
+            f"(letrec (({m} {base})) (let (({w} {m})) "
+            f"(begin (set! {w} {c}) (+ {m} {w}))))",
+            # Parallel let with cross-reading set!s afterwards.
+            f"(let (({m} {base}) ({w} {c})) "
+            f"(begin (set! {m} (+ {m} {w})) (+ {m} {w})))",
+        ]
+        return rng.choice(shapes)
 
     def _arg_for(self, kind: str, fn: _Fn, transparent: bool = False) -> str:
         if kind == NAT:
@@ -356,6 +398,12 @@ class _Gen:
         if cross is not None and rng.random() < 0.5:
             shapes.append(f"(+ {cross} {call})")
         out = rng.choice(shapes)
+        if self.use("mutation"):
+            # The recursive call as a set! right-hand side: the stored
+            # result must round-trip through the mutated local.
+            k = self.nmut
+            self.nmut += 1
+            out = f"(let ((m{k} 0)) (begin (set! m{k} {out}) m{k}))"
         if self.use("contracts"):
             out = (f"((terminating/c (lambda (r) r) "
                    f"\"gen-{fn.name}\") {out})")

@@ -1,0 +1,19 @@
+;; sized-fuzz regression (replay: sized fuzz --replay <this file>)
+;; class: native-fallback-mismatch
+;; seed: 9001
+;; mode: terminating
+;; entry: f0
+;; entry-kinds: nat
+;; must-verify: #t
+;; must-discharge: #t
+;; fuel: 2000000
+;; detail: review repro, PR 9.  The native emitter's freeze() returned
+;;   any identifier unchanged, but in locals mode a parameter read is
+;;   just the slot name (_p0) — never copied, so the sibling argument's
+;;   set! clobbered the value read on its left and the native tier
+;;   answered 100 where tree/compiled answer 2 (left-to-right order).
+;;   Fixed by tracking mutable storage slots in the emitter and copying
+;;   reads of them into fresh temps; the generator's `mutation` feature
+;;   now covers this class (set! sibling-argument effects).
+(define (f0 n0) (+ n0 (begin (set! n0 99) 1)))
+(f0 1)

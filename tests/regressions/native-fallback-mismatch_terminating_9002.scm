@@ -1,0 +1,19 @@
+;; sized-fuzz regression (replay: sized fuzz --replay <this file>)
+;; class: native-fallback-mismatch
+;; seed: 9002
+;; mode: terminating
+;; entry: f0
+;; entry-kinds: nat
+;; must-verify: #t
+;; must-discharge: #t
+;; fuel: 2000000
+;; detail: review repro, PR 9.  emit_let adopted any `_t`-prefixed
+;;   identifier as the new binding's storage slot, so a rhs that read an
+;;   outer letrec slot (itself a _tN Python local) made the let variable
+;;   alias the letrec variable: set! on y mutated a, and the native tier
+;;   answered 2 where tree/compiled answer 1.  Fixed by adopting only
+;;   temps minted while compiling that rhs (everything else gets a fresh
+;;   gensym slot); the generator's `mutation` feature now covers this
+;;   class (letrec/let binding-aliasing probes).
+(define (f0 n0) (letrec ((a n0)) (let ((y a)) (begin (set! y 2) a))))
+(f0 1)

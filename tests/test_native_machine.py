@@ -228,6 +228,77 @@ class TestTrampoline:
         assert a.value == n
 
 
+class TestMutationOrder:
+    """``set!`` pins evaluation order and storage identity: a volatile
+    read must be copied before a sibling's mutation can run, and every
+    let/letrec binding needs its own slot.  These are the observables
+    the locals-mode emitter got wrong (review repros, PR 9) — each case
+    asserts byte-identity against the tree machine plus the exact
+    expected value."""
+
+    PROBES = [
+        # Left argument read before the right argument's set! fires.
+        ("(define (f x) (+ x (begin (set! x 99) 1)))\n(f 1)\n", "2"),
+        # A let binding from a letrec slot must not alias it.
+        ("(define (f x) (letrec ((a x)) (let ((y a)) "
+         "(begin (set! y 2) a))))\n(f 1)\n", "1"),
+        # let rhs reads the parameter, the body then mutates it.
+        ("(define (f x) (let ((y x)) (begin (set! x 50) (+ y x))))\n"
+         "(f 1)\n", "51"),
+        # letrec* ordering: the second rhs sees the first slot mutated.
+        ("(define (f x) (letrec ((a x) (b (begin (set! a 7) a))) "
+         "(+ a b)))\n(f 1)\n", "14"),
+        # Parallel let: both rhss evaluate before either name binds.
+        ("(define (f x) (let ((y x) (z (begin (set! x 9) x))) "
+         "(+ (* 100 y) z)))\n(f 1)\n", "109"),
+        # Nested lets: each binding gets distinct storage.
+        ("(define (f x) (let ((a x)) (let ((b a)) "
+         "(begin (set! b 8) (+ a b)))))\n(f 1)\n", "9"),
+        # Sequenced rebinds through begin.
+        ("(define (f x) (begin (set! x (+ x 1)) (set! x (* x 2)) x))\n"
+         "(f 3)\n", "8"),
+        # The let value is read out before the set! behind it.
+        ("(define (f x) (+ (let ((u x)) (begin (set! x 40) u)) x))\n"
+         "(f 2)\n", "42"),
+    ]
+
+    @pytest.mark.parametrize("src,expected", PROBES,
+                             ids=[f"probe{i}" for i in range(len(PROBES))])
+    def test_identical_across_machines(self, src, expected):
+        answers = run_everywhere(src, mode="off")
+        assert answers["tree"].kind == Answer.VALUE
+        assert write_value(answers["tree"].value) == expected
+        assert_all_same(answers)
+
+    def test_frame_mode_capture_sees_mutation(self):
+        # A nested λ forces frame mode; the closure must observe the
+        # set! on the captured frame slot.
+        src = ("(define (f x) (let ((g (lambda (y) (+ x y)))) "
+               "(begin (set! x 9) (g 1))))\n(f 1)\n")
+        answers = run_everywhere(src, mode="off")
+        assert answers["tree"].kind == Answer.VALUE
+        assert write_value(answers["tree"].value) == "10"
+        assert_all_same(answers)
+
+    def test_mutation_runs_on_the_native_tier_when_discharged(self):
+        # The ordering contract must hold in actual native frames under
+        # monitoring, not only in the unmonitored configuration.
+        src = ("(define (f n) (if (zero? n) 0 "
+               "(+ (let ((m n)) (+ m (begin (set! m 1) m))) "
+               "(f (- n 1)))))\n(f 4)\n")
+        parsed, result = discharged(src)
+        assert result.complete
+        answers = run_everywhere(parsed, mode="full",
+                                 discharge=result.policy)
+        assert answers["tree"].kind == Answer.VALUE
+        assert_all_same(answers)
+        a = run_program(parsed, mode="full", machine="native",
+                        discharge=result.policy)
+        assert a.tier == "native"
+        assert write_value(a.value) == write_value(
+            answers["tree"].value)
+
+
 class TestTierReporting:
     """``Answer.tier`` names the tier that actually did the work."""
 
